@@ -1,0 +1,167 @@
+// Ablation study for the design choices called out in DESIGN.md:
+//   - module toggles: partition, pre-provisioning quota, parallel stage,
+//     storage planning, roll-back, polish;
+//   - hyper-parameters: ω (parallel merge fraction), ξ quantile (partition
+//     threshold), λ (cost/latency weight), Θ (disturbance).
+// One shared scenario (10 servers, 120 users) so rows are comparable.
+#include "bench_common.h"
+
+int main() {
+  using namespace socl;
+  bench::banner("Ablation",
+                "SoCL module toggles and hyper-parameters (10 servers, 120 "
+                "users)");
+
+  const auto scenario =
+      core::make_scenario(bench::paper_config(10, 120, 8000.0), 31);
+
+  util::Table table({"variant", "objective", "cost", "latency", "runtime_s",
+                     "feasible"});
+  auto run = [&](const std::string& label, const core::SoCLParams& params) {
+    const auto solution = core::SoCL(params).solve(scenario);
+    table.row()
+        .cell(label)
+        .num(solution.evaluation.objective, 1)
+        .num(solution.evaluation.deployment_cost, 1)
+        .num(solution.evaluation.total_latency, 1)
+        .num(solution.runtime_seconds, 3)
+        .cell(solution.evaluation.within_budget &&
+                      solution.evaluation.routable &&
+                      solution.evaluation.storage_ok
+                  ? "yes"
+                  : "NO");
+  };
+
+  run("full", {});
+  {
+    core::SoCLParams params;
+    params.combination.use_multi_start = false;
+    run("no-multi-start", params);
+  }
+
+  {
+    core::SoCLParams params;
+    params.use_partition = false;
+    run("no-partition", params);
+  }
+  {
+    core::SoCLParams params;
+    params.use_preprovision = false;
+    run("no-preprovision-quota", params);
+  }
+  {
+    core::SoCLParams params;
+    params.combination.use_parallel_stage = false;
+    run("no-parallel-stage", params);
+  }
+  {
+    core::SoCLParams params;
+    params.combination.use_storage_planning = false;
+    run("no-storage-planning", params);
+  }
+  {
+    core::SoCLParams params;
+    params.combination.use_rollback = false;
+    run("no-rollback", params);
+  }
+  {
+    core::SoCLParams params;
+    params.combination.use_relocation = false;
+    run("no-polish", params);
+  }
+  {
+    core::SoCLParams params;
+    params.partition.add_candidates = false;
+    run("no-candidate-nodes", params);
+  }
+
+  for (const double omega : {0.05, 0.2, 0.5}) {
+    core::SoCLParams params;
+    params.combination.omega = omega;
+    run("omega=" + std::to_string(omega).substr(0, 4), params);
+  }
+  for (const double xi : {0.1, 0.25, 0.75}) {
+    core::SoCLParams params;
+    params.partition.xi_quantile = xi;
+    run("xi-quantile=" + std::to_string(xi).substr(0, 4), params);
+  }
+  for (const double theta : {0.0, 25.0, 100.0}) {
+    core::SoCLParams params;
+    params.combination.theta = theta;
+    run("theta=" + std::to_string(theta).substr(0, 5), params);
+  }
+
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "ablation");
+
+  // The dense-basin multi-start can mask the pipeline modules' individual
+  // contributions; ablate them again with it disabled so the raw
+  // partition -> pre-provision -> combination path is visible.
+  util::Table raw_table({"variant (no multi-start)", "objective", "cost",
+                         "latency", "runtime_s", "feasible"});
+  auto run_raw = [&](const std::string& label, core::SoCLParams params) {
+    params.combination.use_multi_start = false;
+    const auto solution = core::SoCL(params).solve(scenario);
+    raw_table.row()
+        .cell(label)
+        .num(solution.evaluation.objective, 1)
+        .num(solution.evaluation.deployment_cost, 1)
+        .num(solution.evaluation.total_latency, 1)
+        .num(solution.runtime_seconds, 3)
+        .cell(solution.evaluation.within_budget &&
+                      solution.evaluation.routable &&
+                      solution.evaluation.storage_ok
+                  ? "yes"
+                  : "NO");
+  };
+  run_raw("pipeline-full", {});
+  {
+    core::SoCLParams params;
+    params.use_partition = false;
+    run_raw("pipeline-no-partition", params);
+  }
+  {
+    core::SoCLParams params;
+    params.use_preprovision = false;
+    run_raw("pipeline-no-quota", params);
+  }
+  {
+    core::SoCLParams params;
+    params.combination.use_parallel_stage = false;
+    run_raw("pipeline-no-parallel", params);
+  }
+  {
+    core::SoCLParams params;
+    params.combination.use_relocation = false;
+    run_raw("pipeline-no-polish", params);
+  }
+  {
+    core::SoCLParams params;
+    params.partition.add_candidates = false;
+    run_raw("pipeline-no-candidates", params);
+  }
+  std::cout << "\nraw pipeline ablation (multi-start disabled)\n";
+  raw_table.print(std::cout);
+  bench::maybe_write_csv(raw_table, "ablation_raw");
+
+  // λ sweep needs fresh scenarios (λ lives in the problem constants).
+  util::Table lambda_table(
+      {"lambda", "objective", "cost", "latency", "instances"});
+  for (const double lambda : {0.2, 0.5, 0.8}) {
+    auto config = bench::paper_config(10, 120, 8000.0);
+    config.constants.lambda = lambda;
+    const auto lambda_scenario = core::make_scenario(config, 31);
+    const auto solution = core::SoCL().solve(lambda_scenario);
+    lambda_table.row()
+        .num(lambda, 1)
+        .num(solution.evaluation.objective, 1)
+        .num(solution.evaluation.deployment_cost, 1)
+        .num(solution.evaluation.total_latency, 1)
+        .integer(solution.placement.total_instances());
+  }
+  std::cout << "\ncost/latency trade-off weight λ (higher λ -> cost "
+               "matters more -> fewer instances)\n";
+  lambda_table.print(std::cout);
+  bench::maybe_write_csv(lambda_table, "ablation_lambda");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the figure-regeneration benches. Each bench binary is
+// standalone: it builds the paper's scenario family, runs the algorithms,
+// and prints the figure's series as a fixed-width table (CSV mirrors are
+// written next to the binary when SOCL_BENCH_CSV is set).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "baselines/gcog.h"
+#include "baselines/jdr.h"
+#include "baselines/random_provision.h"
+#include "util/table.h"
+
+namespace socl::bench {
+
+/// Paper-default scenario family (Section V-A): eshopOnContainers catalog,
+/// National-Stadium topology, cost budget in [5000, 8000].
+inline core::ScenarioConfig paper_config(int nodes, int users,
+                                         double budget = 6500.0) {
+  core::ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_users = users;
+  config.constants.budget = budget;
+  return config;
+}
+
+/// Prints the figure header banner.
+inline void banner(const std::string& figure, const std::string& caption) {
+  std::cout << "==============================================================="
+               "=\n"
+            << figure << ": " << caption << '\n'
+            << "==============================================================="
+               "=\n";
+}
+
+/// Writes the CSV mirror when SOCL_BENCH_CSV is set in the environment.
+inline void maybe_write_csv(const util::Table& table,
+                            const std::string& name) {
+  if (std::getenv("SOCL_BENCH_CSV") != nullptr) {
+    table.write_csv(name + ".csv");
+    std::cout << "(csv written to " << name << ".csv)\n";
+  }
+}
+
+}  // namespace socl::bench

@@ -1,0 +1,70 @@
+// Figure 3: similarity analysis of the (synthetic) cluster traces.
+//  (a) similarity between the 10 most frequent services within each file —
+//      values vary widely, showing a heterogeneous service landscape;
+//  (b) for services with 12+ microservice chains, pairwise similarity of the
+//      same service across trace files — the paper reports a maximum of only
+//      ~0.65, i.e. diverse trigger points and dependency structures.
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace socl;
+  bench::banner("Figure 3",
+                "similarity between services (a) and across trace files (b)");
+
+  workload::TraceGenConfig config;
+  config.num_files = 12;
+  config.num_services = 10;
+  config.min_chain = 12;
+  const auto files = workload::generate_trace_files(config, 2026);
+
+  // (a) pairwise similarity between distinct services, per file.
+  util::Table file_table({"file", "mean_sim", "min_sim", "max_sim"});
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    util::RunningStats stats;
+    for (int a = 0; a < config.num_services; ++a) {
+      for (int b = a + 1; b < config.num_services; ++b) {
+        stats.add(workload::service_similarity(
+            files[f].services[static_cast<std::size_t>(a)],
+            files[f].services[static_cast<std::size_t>(b)]));
+      }
+    }
+    file_table.row()
+        .integer(static_cast<long long>(f))
+        .num(stats.mean(), 3)
+        .num(stats.min(), 3)
+        .num(stats.max(), 3);
+  }
+  std::cout << "(a) similarity between services, per trace file\n";
+  file_table.print(std::cout);
+  bench::maybe_write_csv(file_table, "fig3a");
+
+  // (b) cross-file similarity of each service (chains are all >= 12 here).
+  util::Table service_table(
+      {"service", "mean_cross_sim", "max_cross_sim"});
+  double global_max = 0.0;
+  for (int s = 0; s < config.num_services; ++s) {
+    util::RunningStats stats;
+    for (std::size_t a = 0; a < files.size(); ++a) {
+      for (std::size_t b = a + 1; b < files.size(); ++b) {
+        stats.add(workload::cross_file_similarity(files[a], files[b], s));
+      }
+    }
+    global_max = std::max(global_max, stats.max());
+    service_table.row()
+        .integer(s)
+        .num(stats.mean(), 3)
+        .num(stats.max(), 3);
+  }
+  std::cout << "\n(b) similarity of each 12+-chain service across files\n";
+  service_table.print(std::cout);
+  bench::maybe_write_csv(service_table, "fig3b");
+
+  std::cout << "\nmaximum cross-file similarity observed: " << global_max
+            << " (paper: ~0.65 — traces are diverse, never near-identical)\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 7: optimizer (OPT) vs SoCL — objective value and runtime,
+//  (a)/(b) sweeping the user scale at a fixed server count,
+//  (c)/(d) sweeping the edge-node scale at a fixed user count.
+// The paper's headline: OPT's runtime explodes while SoCL stays within a
+// few percent of the optimal objective at a fraction of the time. The MIP
+// stand-in runs with a per-point wall limit and a SoCL warm start, so capped
+// points report the best incumbent + bound gap.
+#include "bench_common.h"
+
+#include "ilp/socl_ilp.h"
+
+namespace {
+
+void run_point(socl::util::Table& table, const std::string& label,
+               const socl::core::Scenario& scenario, double time_limit) {
+  using namespace socl;
+  const auto socl_solution = baselines::SoCLAlgorithm().solve(scenario);
+
+  const auto ilp = ilp::build_socl_ilp(scenario);
+  const auto warm =
+      ilp::encode_warm_start(scenario, ilp, socl_solution.placement);
+  solver::MipOptions options;
+  options.time_limit_s = time_limit;
+  options.initial_solution = warm;
+  const auto opt = ilp::solve_opt(scenario, options);
+
+  // Model objective: the ILP's own pricing (Definition 4), on which OPT is
+  // provably optimal; SoCL's placement is priced through the same model.
+  const double opt_model = opt.mip.has_solution() ? opt.mip.objective : 0.0;
+  const double socl_model =
+      warm.empty() ? 0.0 : ilp.model.objective_value(warm);
+  const double ratio = opt_model > 0.0 ? socl_model / opt_model : 0.0;
+  table.row()
+      .cell(label)
+      .num(opt_model, 1)
+      .num(socl_model, 1)
+      .num(ratio, 3)
+      .num(opt.mip.wall_seconds, 3)
+      .num(socl_solution.runtime_seconds, 4)
+      .cell(solver::to_string(opt.mip.status))
+      .num(opt.mip.has_solution() ? opt.solution.evaluation.objective : 0.0,
+           1)
+      .num(socl_solution.evaluation.objective, 1);
+}
+
+}  // namespace
+
+int main() {
+  using namespace socl;
+  bench::banner("Figure 7",
+                "OPT (exact ILP) vs SoCL: objective and runtime across user "
+                "and node scales");
+
+  const double time_limit = 20.0;
+
+  util::Table users_table({"users@8srv", "OPT_model", "SoCL_model",
+                           "SoCL/OPT", "OPT_time_s", "SoCL_time_s",
+                           "OPT_status", "OPT_eval", "SoCL_eval"});
+  for (const int users : {5, 10, 15, 20, 25}) {
+    const auto scenario =
+        core::make_scenario(bench::paper_config(8, users), 7);
+    run_point(users_table, std::to_string(users), scenario, time_limit);
+  }
+  std::cout << "(a)/(b) user-scale sweep, 8 edge servers\n";
+  users_table.print(std::cout);
+  bench::maybe_write_csv(users_table, "fig7ab");
+
+  util::Table nodes_table({"servers@10usr", "OPT_model", "SoCL_model",
+                           "SoCL/OPT", "OPT_time_s", "SoCL_time_s",
+                           "OPT_status", "OPT_eval", "SoCL_eval"});
+  for (const int servers : {4, 8, 12, 16, 20}) {
+    const auto scenario =
+        core::make_scenario(bench::paper_config(servers, 10), 7);
+    run_point(nodes_table, std::to_string(servers), scenario, time_limit);
+  }
+  std::cout << "\n(c)/(d) node-scale sweep, 8 users\n";
+  nodes_table.print(std::cout);
+  bench::maybe_write_csv(nodes_table, "fig7cd");
+
+  std::cout << "\nReading the table: *_model columns use the ILP's own "
+               "pricing (Definition 4), where OPT\nis provably optimal — "
+               "the SoCL/OPT ratio is the paper's optimality gap (reported "
+               "< 1.099).\n*_eval columns re-route both placements with "
+               "the exact chain-coupled model of Eq. (2);\nthere SoCL can "
+               "even beat OPT because the ILP prices transfers from the "
+               "attach node.\nOPT runtime grows orders of magnitude "
+               "faster than SoCL's.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8: objective (weighted cost & latency) for RP, JDR, GC-OG, and
+// SoCL at user scales 80/120/160/200 on 10 edge servers — the headline
+// baseline comparison. Also reports each algorithm's runtime, reproducing
+// the GC-OG search-inefficiency observation (the paper measured 2274.8 s at
+// 120 users; relative blow-up is what matters here).
+#include "bench_common.h"
+
+int main() {
+  using namespace socl;
+  bench::banner("Figure 8",
+                "objective for RP / JDR / GC-OG / SoCL across user scales "
+                "(10 servers)");
+
+  util::Table table({"users", "algorithm", "objective", "cost", "latency",
+                     "runtime_s", "budget_ok", "storage_ok"});
+  util::Table summary({"users", "RP", "JDR", "GC-OG", "SoCL"});
+
+  for (const int users : {80, 120, 160, 200}) {
+    const auto scenario =
+        core::make_scenario(bench::paper_config(10, users, 8000.0), 8);
+
+    const baselines::RandomProvision rp(11);
+    const baselines::Jdr jdr;
+    const baselines::GreedyCombine gcog;
+    const baselines::SoCLAlgorithm socl;
+    const baselines::ProvisioningAlgorithm* algorithms[] = {&rp, &jdr, &gcog,
+                                                            &socl};
+
+    summary.row().integer(users);
+    for (const auto* algorithm : algorithms) {
+      const auto solution = algorithm->solve(scenario);
+      table.row()
+          .integer(users)
+          .cell(algorithm->name())
+          .num(solution.evaluation.objective, 1)
+          .num(solution.evaluation.deployment_cost, 1)
+          .num(solution.evaluation.total_latency, 1)
+          .num(solution.runtime_seconds, 3)
+          .cell(solution.evaluation.within_budget &&
+                        solution.evaluation.routable
+                    ? "yes"
+                    : "NO")
+          .cell(solution.evaluation.storage_ok ? "yes" : "NO");
+      summary.num(solution.evaluation.objective, 1);
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nobjective summary (rows = user scale)\n";
+  summary.print(std::cout);
+  bench::maybe_write_csv(table, "fig8");
+
+  std::cout << "\nExpected shape: RP worst and growing fastest; JDR high "
+               "from cost-blind redundancy;\nGC-OG close to SoCL on "
+               "objective but slower (and growing faster) as users grow —\n"
+               "note GC-OG is storage-blind and may violate Eq. (6), which "
+               "SoCL never does;\nSoCL lowest-or-close with sub-second "
+               "runtimes and all constraints honoured.\n";
+  return 0;
+}

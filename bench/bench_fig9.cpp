@@ -1,0 +1,65 @@
+// Figure 9: Kubernetes-testbed comparison on 8 edge nodes (emulated per
+// DESIGN.md): objective / provisioning cost / completion time for RP, JDR,
+// and SoCL under 50 and 70 users, plus per-user latency medians measured by
+// dispatching requests through the testbed emulator.
+#include "bench_common.h"
+
+#include "sim/testbed.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace socl;
+  bench::banner("Figure 9",
+                "testbed (8 edge nodes): objective, cost, latency and "
+                "per-user medians for RP / JDR / SoCL");
+
+  util::Table table({"users", "algorithm", "objective", "cost",
+                     "total_latency", "median_ms", "p95_ms"});
+
+  for (const int users : {50, 70}) {
+    const auto scenario =
+        core::make_scenario(bench::paper_config(8, users, 6500.0), 99);
+    // Constant aggregate offered load across user scales (the paper's users
+    // issue requests at a fixed population rate).
+    sim::TestbedConfig testbed_config;
+    testbed_config.arrival_rate = 1.5 / static_cast<double>(users);
+    const sim::TestbedEmulator testbed(scenario, testbed_config, 17);
+
+    const baselines::RandomProvision rp(3);
+    const baselines::Jdr jdr;
+    const baselines::SoCLAlgorithm socl;
+    const baselines::ProvisioningAlgorithm* algorithms[] = {&rp, &jdr, &socl};
+
+    for (const auto* algorithm : algorithms) {
+      const auto solution = algorithm->solve(scenario);
+      std::vector<double> latencies;
+      if (solution.assignment) {
+        const auto samples = testbed.measure(solution.placement,
+                                             *solution.assignment,
+                                             /*rounds=*/20, 5);
+        latencies.reserve(samples.size());
+        for (const auto& sample : samples) {
+          latencies.push_back(sample.latency_ms);
+        }
+      }
+      table.row()
+          .integer(users)
+          .cell(algorithm->name())
+          .num(solution.evaluation.objective, 1)
+          .num(solution.evaluation.deployment_cost, 1)
+          .num(solution.evaluation.total_latency, 1)
+          .num(latencies.empty() ? 0.0 : util::median(latencies), 3)
+          .num(latencies.empty() ? 0.0 : util::percentile(latencies, 95.0),
+               3);
+    }
+  }
+
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "fig9");
+  std::cout << "\nExpected shape: RP/JDR reach low completion times only by "
+               "spending the full budget\n(higher cost, worse objective); "
+               "SoCL balances both and keeps per-user medians "
+               "competitive\nwith far fewer instances (paper medians: "
+               "RP 2.795 / JDR 3.989 / SoCL 2.796 at 50 users).\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels:
+// routing DP, virtual-link construction, latency-loss updates, the simplex
+// engine, and the end-to-end SoCL solve.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/fuzzy_ahp.h"
+#include "ilp/socl_ilp.h"
+
+namespace {
+
+using namespace socl;
+
+const core::Scenario& shared_scenario() {
+  static const core::Scenario scenario =
+      core::make_scenario(bench::paper_config(10, 60), 5);
+  return scenario;
+}
+
+void BM_ShortestPathsBuild(benchmark::State& state) {
+  const auto network =
+      net::make_topology(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    net::ShortestPaths paths(network);
+    benchmark::DoNotOptimize(paths.hops(0, 1));
+  }
+}
+BENCHMARK(BM_ShortestPathsBuild)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_VirtualLinksBuild(benchmark::State& state) {
+  const auto network =
+      net::make_topology(static_cast<int>(state.range(0)), 3);
+  const net::ShortestPaths paths(network);
+  for (auto _ : state) {
+    net::VirtualLinks vlinks(network, paths);
+    benchmark::DoNotOptimize(vlinks.rate(0, 1));
+  }
+}
+BENCHMARK(BM_VirtualLinksBuild)->Arg(10)->Arg(30);
+
+void BM_ChainRouteSingleUser(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  core::Placement placement(scenario);
+  for (core::MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (const core::NodeId k : scenario.demand_nodes(m)) {
+      placement.deploy(m, k);
+    }
+  }
+  const core::ChainRouter router(scenario);
+  const auto& request = scenario.requests().front();
+  for (auto _ : state) {
+    auto route = router.route(request, placement);
+    benchmark::DoNotOptimize(route);
+  }
+}
+BENCHMARK(BM_ChainRouteSingleUser);
+
+void BM_LatencyLossList(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto partitioning = core::initial_partition(scenario, {});
+  const auto pre = core::preprovision(scenario, partitioning);
+  const core::Combiner combiner(scenario, partitioning, {});
+  for (auto _ : state) {
+    auto losses = combiner.latency_losses(pre.placement);
+    benchmark::DoNotOptimize(losses);
+  }
+}
+BENCHMARK(BM_LatencyLossList);
+
+void BM_SimplexRandomLp(benchmark::State& state) {
+  util::Rng rng(7);
+  solver::Model model;
+  const int n = static_cast<int>(state.range(0));
+  for (int j = 0; j < n; ++j) {
+    model.add_variable(0.0, 1.0, rng.uniform(-1.0, 1.0), false);
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.3)) terms.emplace_back(j, rng.uniform(0.1, 2.0));
+    }
+    if (!terms.empty()) {
+      model.add_constraint(std::move(terms), solver::Sense::kLe,
+                           rng.uniform(1.0, 5.0));
+    }
+  }
+  for (auto _ : state) {
+    auto result = solver::solve_lp(model);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(50)->Arg(150);
+
+void BM_FuzzyAhpWeights(benchmark::State& state) {
+  const auto eq = core::fuzzy_equal();
+  const auto mod = core::fuzzy_moderate();
+  const auto strong = core::fuzzy_strong();
+  const std::vector<std::vector<core::TriFuzzy>> comparison = {
+      {eq, mod, strong, strong},
+      {mod.reciprocal(), eq, mod, strong},
+      {strong.reciprocal(), mod.reciprocal(), eq, mod},
+      {strong.reciprocal(), strong.reciprocal(), mod.reciprocal(), eq},
+  };
+  for (auto _ : state) {
+    auto weights = core::buckley_weights(comparison);
+    benchmark::DoNotOptimize(weights);
+  }
+}
+BENCHMARK(BM_FuzzyAhpWeights);
+
+void BM_SoclEndToEnd(benchmark::State& state) {
+  const auto scenario = core::make_scenario(
+      bench::paper_config(10, static_cast<int>(state.range(0))), 5);
+  const core::SoCL socl;
+  for (auto _ : state) {
+    auto solution = socl.solve(scenario);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_SoclEndToEnd)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_IlpBuild(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  for (auto _ : state) {
+    auto ilp = ilp::build_socl_ilp(scenario);
+    benchmark::DoNotOptimize(ilp);
+  }
+}
+BENCHMARK(BM_IlpBuild);
+
+}  // namespace

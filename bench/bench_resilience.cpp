@@ -1,0 +1,111 @@
+// Resilience study (extension): inject edge-server and link failures,
+// re-attach displaced users, and re-provision. Reports how gracefully the
+// objective and latency degrade with failure severity, and how much of the
+// loss the online warm-start controller recovers instantly versus a full
+// re-solve.
+#include "bench_common.h"
+
+#include "core/online.h"
+#include "net/failures.h"
+#include "workload/mobility.h"
+
+int main() {
+  using namespace socl;
+  bench::banner("Resilience",
+                "objective/latency degradation under injected failures (12 "
+                "nodes, 50 users)");
+
+  const auto config = bench::paper_config(12, 50, 7000.0);
+  const auto healthy = core::make_scenario(config, 404);
+  const auto baseline = baselines::SoCLAlgorithm().solve(healthy);
+
+  util::Table table({"failed_nodes", "failed_links", "objective",
+                     "vs_healthy", "mean_latency_s", "displaced_users",
+                     "feasible"});
+  table.row()
+      .integer(0)
+      .integer(0)
+      .num(baseline.evaluation.objective, 1)
+      .num(1.0, 3)
+      .num(baseline.evaluation.mean_latency, 3)
+      .integer(0)
+      .cell(baseline.evaluation.feasible() ? "yes" : "NO");
+
+  for (const auto& [node_failures, link_rate] :
+       std::vector<std::pair<int, double>>{
+           {0, 0.1}, {0, 0.25}, {1, 0.0}, {2, 0.0}, {2, 0.15}}) {
+    util::Rng rng(500 + static_cast<std::uint64_t>(node_failures * 100 +
+                                                   link_rate * 1000));
+    const auto plan = net::random_failures(healthy.network(), link_rate,
+                                           node_failures, rng);
+    auto degraded_net = net::apply_failures(healthy.network(), plan);
+    auto requests = healthy.requests();
+    int displaced = 0;
+    for (const auto& request : requests) {
+      for (const auto dead : plan.failed_nodes) {
+        if (request.attach_node == dead) ++displaced;
+      }
+    }
+    workload::reattach_users(degraded_net, plan.failed_nodes, requests);
+    const core::Scenario degraded(std::move(degraded_net), healthy.catalog(),
+                                  std::move(requests), healthy.constants());
+    const auto solution = baselines::SoCLAlgorithm().solve(degraded);
+    table.row()
+        .integer(static_cast<long long>(plan.failed_nodes.size()))
+        .integer(static_cast<long long>(plan.failed_links.size()))
+        .num(solution.evaluation.objective, 1)
+        .num(solution.evaluation.objective / baseline.evaluation.objective, 3)
+        .num(solution.evaluation.mean_latency, 3)
+        .integer(displaced)
+        .cell(solution.evaluation.feasible() ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "resilience");
+
+  // Recovery comparison: after a 2-node failure, warm-start repair vs full
+  // re-solve (what an operator's control loop would actually run).
+  {
+    util::Rng rng(911);
+    const auto plan = net::random_failures(healthy.network(), 0.0, 2, rng);
+    auto degraded_net = net::apply_failures(healthy.network(), plan);
+    auto requests = healthy.requests();
+    workload::reattach_users(degraded_net, plan.failed_nodes, requests);
+    const core::Scenario degraded(std::move(degraded_net), healthy.catalog(),
+                                  std::move(requests), healthy.constants());
+
+    core::OnlineSoCL online;
+    // Prime the controller on the healthy network, then hit it with the
+    // degraded slot. Failed nodes are husks (zero storage), so the warm
+    // repair must migrate their instances away.
+    online.step(healthy);
+    core::OnlineStepStats stats;
+    const auto warm = online.step(degraded, &stats);
+    const auto fresh = baselines::SoCLAlgorithm().solve(degraded);
+
+    util::Table recovery({"recovery", "objective", "runtime_ms", "churn",
+                          "feasible"});
+    recovery.row()
+        .cell("warm-start repair")
+        .num(warm.evaluation.objective, 1)
+        .num(warm.runtime_seconds * 1e3, 1)
+        .integer(stats.churn)
+        .cell(warm.evaluation.feasible() ? "yes" : "NO");
+    recovery.row()
+        .cell("full re-solve")
+        .num(fresh.evaluation.objective, 1)
+        .num(fresh.runtime_seconds * 1e3, 1)
+        .cell("-")
+        .cell(fresh.evaluation.feasible() ? "yes" : "NO");
+    std::cout << "\nrecovery after a 2-node failure\n";
+    recovery.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: budget/storage feasibility holds at every "
+               "severity and the objective\ndegrades sub-linearly while "
+               "survivors stay connected; at the harshest severities\nsome "
+               "deadlines calibrated on the healthy substrate become "
+               "physically unmeetable\n(the feasible column reports it "
+               "honestly). Warm-start repair recovers most of the\nfull "
+               "re-solve's quality at a fraction of the decision latency.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Online provisioning over a working day: users commute between base
+// stations (morning inflow, evening outflow) while SoCL re-provisions each
+// 15-minute slot. Demonstrates the one-shot, time-slotted decision making of
+// the framework and how placements chase demand hotspots.
+#include <iostream>
+
+#include "baselines/algorithm.h"
+#include "core/online.h"
+#include "sim/slot_sim.h"
+#include "util/table.h"
+#include "workload/mobility.h"
+
+int main() {
+  using namespace socl;
+
+  core::ScenarioConfig config;
+  config.num_nodes = 12;
+  config.num_users = 60;
+  config.constants.budget = 7000.0;
+
+  sim::SlotSimConfig sim_config;
+  sim_config.slots = 32;  // 8 hours at 15-minute slots
+  sim_config.mobility.move_prob = 0.45;
+  sim_config.mobility.local_hop_prob = 0.75;
+
+  std::cout << "simulating a working day: " << sim_config.slots
+            << " slots of 15 minutes, " << config.num_users
+            << " commuting users on " << config.num_nodes
+            << " stations\n\n";
+
+  // The online controller warm-starts each slot from the previous
+  // placement, so instances are not churned (container cold starts) when
+  // demand only shifts slightly.
+  core::Scenario scenario = core::make_scenario(config, /*seed=*/7);
+  util::Rng mobility_rng(8);
+  util::Rng weight_rng(9);
+  const auto weights = workload::attachment_weights(
+      scenario.network().num_nodes(), config.requests, weight_rng);
+
+  core::OnlineSoCL online;
+  util::Table table({"slot", "objective", "cost", "mean_latency_s",
+                     "max_latency_s", "solve_ms", "mode", "churn"});
+  double total_objective = 0.0;
+  double worst = 0.0;
+  for (int slot = 0; slot < sim_config.slots; ++slot) {
+    auto requests = scenario.requests();
+    workload::mobility_step(scenario.network(), requests, weights,
+                            sim_config.mobility, mobility_rng);
+    scenario.set_requests(std::move(requests));
+
+    core::OnlineStepStats stats;
+    const auto solution = online.step(scenario, &stats);
+    total_objective += solution.evaluation.objective;
+    worst = std::max(worst, solution.evaluation.max_latency);
+    if (slot % 4 == 0) {  // print hourly
+      table.row()
+          .integer(slot)
+          .num(solution.evaluation.objective, 1)
+          .num(solution.evaluation.deployment_cost, 0)
+          .num(solution.evaluation.mean_latency, 3)
+          .num(solution.evaluation.max_latency, 3)
+          .num(solution.runtime_seconds * 1e3, 1)
+          .cell(stats.warm_start_used ? "warm" : "full")
+          .integer(stats.churn);
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nday summary: mean objective "
+            << total_objective / static_cast<double>(sim_config.slots)
+            << ", worst user latency " << worst << " s\n"
+            << "the online controller makes one-shot decisions each slot "
+               "without prior knowledge of\nfuture arrivals, warm-starting "
+               "from the previous placement to avoid instance churn.\n";
+  return 0;
+}

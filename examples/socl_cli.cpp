@@ -1,0 +1,210 @@
+// socl_cli — run any scenario / algorithm combination from the command
+// line. The tool a downstream operator reaches for first:
+//
+//   socl_cli --nodes 12 --users 80 --budget 7000 --lambda 0.5
+//            --catalog trainticket --topology grid --algorithm socl --seed 3
+//
+// Prints the scenario summary, the chosen algorithm's decision, the
+// evaluation, and (with --placement) the full deployment map. Exits
+// non-zero on invalid arguments.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "baselines/gcog.h"
+#include "baselines/jdr.h"
+#include "baselines/random_provision.h"
+#include "ilp/socl_ilp.h"
+#include "net/topology_families.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace socl;
+
+struct CliOptions {
+  int nodes = 10;
+  int users = 40;
+  double budget = 6500.0;
+  double lambda = 0.5;
+  std::uint64_t seed = 1;
+  std::string catalog = "eshop";
+  std::string topology = "geometric";
+  std::string algorithm = "socl";
+  double opt_time_limit = 30.0;
+  bool show_placement = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      R"(usage: socl_cli [options]
+  --nodes N          edge servers (default 10)
+  --users N          user requests (default 40)
+  --budget X         provisioning budget K^max (default 6500)
+  --lambda X         cost/latency weight in [0,1] (default 0.5)
+  --seed N           RNG seed (default 1)
+  --catalog NAME     eshop | sockshop | trainticket | tiny
+  --topology NAME    geometric | ring | grid | scalefree
+  --algorithm NAME   socl | rp | jdr | gcog | opt
+  --time-limit S     wall limit for --algorithm opt (default 30)
+  --placement        print the full deployment map
+  --help             this text
+)";
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << '\n';
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--help" || arg == "-h") {
+        options.help = true;
+      } else if (arg == "--placement") {
+        options.show_placement = true;
+      } else if (arg == "--nodes") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.nodes = std::stoi(v);
+      } else if (arg == "--users") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.users = std::stoi(v);
+      } else if (arg == "--budget") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.budget = std::stod(v);
+      } else if (arg == "--lambda") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.lambda = std::stod(v);
+      } else if (arg == "--seed") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.seed = std::stoull(v);
+      } else if (arg == "--catalog") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.catalog = v;
+      } else if (arg == "--topology") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.topology = v;
+      } else if (arg == "--algorithm") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.algorithm = v;
+      } else if (arg == "--time-limit") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.opt_time_limit = std::stod(v);
+      } else {
+        std::cerr << "unknown argument: " << arg << '\n';
+        return false;
+      }
+    } catch (const std::exception& error) {
+      std::cerr << "bad value for " << arg << ": " << error.what() << '\n';
+      return false;
+    }
+  }
+  return true;
+}
+
+net::TopologyFamily family_from(const std::string& name) {
+  if (name == "geometric") return net::TopologyFamily::kGeometric;
+  if (name == "ring") return net::TopologyFamily::kRing;
+  if (name == "grid") return net::TopologyFamily::kGrid;
+  if (name == "scalefree") return net::TopologyFamily::kScaleFree;
+  throw std::invalid_argument("unknown topology: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) {
+    print_usage();
+    return 2;
+  }
+  if (options.help) {
+    print_usage();
+    return 0;
+  }
+
+  try {
+    // Build the scenario from the requested substrate pieces.
+    const auto& catalog = workload::catalog_by_name(options.catalog);
+    net::TopologyConfig topo;
+    topo.num_nodes = options.nodes;
+    auto network = net::make_family_topology(family_from(options.topology),
+                                             topo, options.seed);
+    workload::RequestGenConfig gen;
+    gen.num_users = options.users;
+    auto requests = workload::generate_requests(network, catalog, gen,
+                                                options.seed ^ 0x5eedULL);
+    core::ProblemConstants constants;
+    constants.budget = options.budget;
+    constants.lambda = options.lambda;
+    const core::Scenario scenario(std::move(network), catalog,
+                                  std::move(requests), constants);
+
+    std::cout << "scenario: " << scenario.num_nodes() << " nodes ("
+              << options.topology << "), " << scenario.num_users()
+              << " users, catalog " << catalog.name() << ", budget "
+              << options.budget << ", lambda " << options.lambda << "\n\n";
+
+    core::Solution solution{core::Placement(scenario), std::nullopt, {}, 0.0,
+                            {}};
+    if (options.algorithm == "socl") {
+      solution = baselines::SoCLAlgorithm().solve(scenario);
+    } else if (options.algorithm == "rp") {
+      solution = baselines::RandomProvision(options.seed).solve(scenario);
+    } else if (options.algorithm == "jdr") {
+      solution = baselines::Jdr().solve(scenario);
+    } else if (options.algorithm == "gcog") {
+      solution = baselines::GreedyCombine().solve(scenario);
+    } else if (options.algorithm == "opt") {
+      solver::MipOptions mip;
+      mip.time_limit_s = options.opt_time_limit;
+      const auto opt = ilp::solve_opt(scenario, mip);
+      solution = opt.solution;
+      std::cout << "optimizer: " << solver::to_string(opt.mip.status)
+                << ", bound gap " << opt.mip.gap() << ", "
+                << opt.mip.nodes_explored << " B&B nodes\n";
+    } else {
+      std::cerr << "unknown algorithm: " << options.algorithm << '\n';
+      return 2;
+    }
+
+    std::cout << options.algorithm << ": " << solution.evaluation.summary()
+              << "\nsolved in " << solution.runtime_seconds * 1e3
+              << " ms, " << solution.placement.total_instances()
+              << " instances\n";
+
+    if (options.show_placement) {
+      util::Table table({"microservice", "instances", "nodes"});
+      for (core::MsId m = 0; m < scenario.num_microservices(); ++m) {
+        const auto nodes = solution.placement.nodes_of(m);
+        if (nodes.empty()) continue;
+        std::string where;
+        for (const auto k : nodes) where += "v" + std::to_string(k) + " ";
+        table.row()
+            .cell(catalog.microservice(m).name)
+            .integer(solution.placement.instance_count(m))
+            .cell(where);
+      }
+      std::cout << '\n';
+      table.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,60 @@
+// Testbed trace: deploy SoCL's decision on the emulated Kubernetes cluster
+// (Section V-C configuration: 2-core machines, 1-2 Gbit/s links) and watch
+// per-request latencies in milliseconds, including the queueing inflation
+// that appears when arrival rates rise.
+#include <iostream>
+
+#include "baselines/algorithm.h"
+#include "sim/testbed.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace socl;
+
+  core::ScenarioConfig config;
+  config.num_nodes = 8;
+  config.num_users = 50;
+  config.constants.budget = 6500.0;
+  const auto scenario = core::make_scenario(config, 33);
+
+  const auto solution = baselines::SoCLAlgorithm().solve(scenario);
+  std::cout << "SoCL decision: " << solution.placement.total_instances()
+            << " instances, " << solution.evaluation.summary() << "\n\n";
+
+  util::Table table({"arrival_rate", "mean_ms", "median_ms", "p95_ms",
+                     "max_ms", "max_node_util"});
+  for (const double rate : {0.02, 0.1, 0.3, 0.6}) {
+    sim::TestbedConfig testbed_config;
+    testbed_config.arrival_rate = rate;
+    const sim::TestbedEmulator testbed(scenario, testbed_config, 4);
+    const auto samples = testbed.measure(solution.placement,
+                                         *solution.assignment,
+                                         /*rounds=*/30, 9);
+    std::vector<double> latencies;
+    latencies.reserve(samples.size());
+    util::RunningStats stats;
+    for (const auto& sample : samples) {
+      latencies.push_back(sample.latency_ms);
+      stats.add(sample.latency_ms);
+    }
+    const auto util_per_node = testbed.utilisation(*solution.assignment);
+    double max_util = 0.0;
+    for (double u : util_per_node) max_util = std::max(max_util, u);
+    table.row()
+        .num(rate, 2)
+        .num(stats.mean(), 2)
+        .num(util::median(latencies), 2)
+        .num(util::percentile(latencies, 95.0), 2)
+        .num(stats.max(), 2)
+        .num(max_util, 2);
+  }
+  std::cout << "request latency vs offered load (per-user request rate):\n";
+  table.print(std::cout);
+
+  std::cout << "\nas arrival rates rise the 2-core nodes saturate and the "
+               "M/M/1 queueing factor\ninflates tail latencies first — the "
+               "same behaviour the paper's 17-machine\nKubernetes testbed "
+               "exhibits at peak load.\n";
+  return 0;
+}

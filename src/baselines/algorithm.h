@@ -1,0 +1,35 @@
+// Common interface for provisioning algorithms so the benches and the
+// simulator can sweep {RP, JDR, GC-OG, SoCL, OPT} uniformly. Every solver
+// returns a core::Solution whose evaluation is produced by the shared
+// Evaluator, so comparisons differ only in placement/routing decisions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/socl.h"
+
+namespace socl::baselines {
+
+class ProvisioningAlgorithm {
+ public:
+  virtual ~ProvisioningAlgorithm() = default;
+  virtual std::string name() const = 0;
+  virtual core::Solution solve(const core::Scenario& scenario) const = 0;
+};
+
+/// Adapter exposing SoCL through the baseline interface.
+class SoCLAlgorithm final : public ProvisioningAlgorithm {
+ public:
+  explicit SoCLAlgorithm(core::SoCLParams params = {})
+      : socl_(std::move(params)) {}
+  std::string name() const override { return "SoCL"; }
+  core::Solution solve(const core::Scenario& scenario) const override {
+    return socl_.solve(scenario);
+  }
+
+ private:
+  core::SoCL socl_;
+};
+
+}  // namespace socl::baselines

@@ -1,0 +1,66 @@
+#include "baselines/gcog.h"
+
+#include <limits>
+
+#include "util/timer.h"
+
+namespace socl::baselines {
+
+using core::MsId;
+using core::NodeId;
+
+core::Solution GreedyCombine::solve(const core::Scenario& scenario) const {
+  util::WallTimer timer;
+  const core::Evaluator evaluator(scenario);
+
+  // Dense start: deploy every requested microservice on all demand nodes.
+  core::Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (const NodeId k : scenario.demand_nodes(m)) {
+      placement.deploy(m, k);
+    }
+  }
+
+  double current = evaluator.evaluate(placement).objective;
+  const double budget = scenario.constants().budget;
+
+  for (;;) {
+    // Exhaustive scan: try removing every instance, keep the best move.
+    double best_objective = std::numeric_limits<double>::infinity();
+    MsId best_m = workload::kInvalidMs;
+    NodeId best_k = net::kInvalidNode;
+    for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+      if (placement.instance_count(m) <= 1) continue;
+      for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+        if (!placement.deployed(m, k)) continue;
+        placement.remove(m, k);
+        const auto eval = evaluator.evaluate(placement);
+        placement.deploy(m, k);
+        if (!eval.routable || eval.deadline_violations > 0) continue;
+        if (eval.objective < best_objective) {
+          best_objective = eval.objective;
+          best_m = m;
+          best_k = k;
+        }
+      }
+    }
+    if (best_m == workload::kInvalidMs) break;
+
+    const bool over_budget =
+        placement.deployment_cost(scenario.catalog()) > budget;
+    if (best_objective >= current && !over_budget) break;
+    placement.remove(best_m, best_k);
+    current = best_objective;
+  }
+
+  core::Solution solution{placement, std::nullopt, {}, 0.0, {}};
+  solution.assignment = evaluator.router().route_all(placement);
+  solution.evaluation =
+      solution.assignment
+          ? evaluator.evaluate(placement, *solution.assignment)
+          : evaluator.evaluate(placement);
+  solution.runtime_seconds = timer.elapsed_seconds();
+  return solution;
+}
+
+}  // namespace socl::baselines

@@ -1,0 +1,21 @@
+// GC-OG — Greedy Combine with Objective Gradient baseline (Section V-B).
+//
+// Starts from the dense placement (every demand node hosts its requested
+// microservices) and greedily removes, at every step, the single instance
+// whose removal most reduces the exact objective, re-evaluating every
+// candidate with the exact router each round. Effective at small scales but
+// the exhaustive candidate scan makes its runtime balloon with the user
+// count — the search-inefficiency the paper contrasts SoCL against.
+#pragma once
+
+#include "baselines/algorithm.h"
+
+namespace socl::baselines {
+
+class GreedyCombine final : public ProvisioningAlgorithm {
+ public:
+  std::string name() const override { return "GC-OG"; }
+  core::Solution solve(const core::Scenario& scenario) const override;
+};
+
+}  // namespace socl::baselines

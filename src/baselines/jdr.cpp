@@ -1,0 +1,186 @@
+#include "baselines/jdr.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace socl::baselines {
+
+using core::MsId;
+using core::NodeId;
+
+core::Assignment jdr_routing(const core::Scenario& scenario,
+                             const core::Placement& placement,
+                             int single_user_threshold) {
+  std::vector<int> user_count(
+      static_cast<std::size_t>(scenario.num_microservices()), 0);
+  for (const auto& request : scenario.requests()) {
+    for (const MsId m : request.chain) {
+      ++user_count[static_cast<std::size_t>(m)];
+    }
+  }
+  core::Assignment assignment(scenario);
+  for (const auto& request : scenario.requests()) {
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      const MsId m = request.chain[pos];
+      const auto hosts = placement.nodes_of(m);
+      if (hosts.empty()) continue;  // left invalid; caller handles
+      NodeId chosen = hosts.front();
+      if (user_count[static_cast<std::size_t>(m)] <= single_user_threshold) {
+        // Single-user: nearest instance to the user.
+        double best_rate = -1.0;
+        for (const NodeId k : hosts) {
+          const double rate = scenario.vlinks().rate(request.attach_node, k);
+          if (rate > best_rate) {
+            best_rate = rate;
+            chosen = k;
+          }
+        }
+      } else {
+        // Multi-user: highest-capacity server, proximity as tie-break only.
+        double best_capacity = -1.0;
+        for (const NodeId k : hosts) {
+          const double capacity = scenario.network().node(k).compute_gflops;
+          if (capacity > best_capacity) {
+            best_capacity = capacity;
+            chosen = k;
+          }
+        }
+      }
+      assignment.set(request.id, static_cast<int>(pos), chosen);
+    }
+  }
+  return assignment;
+}
+
+core::Solution Jdr::solve(const core::Scenario& scenario) const {
+  util::WallTimer timer;
+  const auto& catalog = scenario.catalog();
+  const auto& network = scenario.network();
+
+  core::Placement placement(scenario);
+
+  auto has_room = [&](MsId m, NodeId k) {
+    return catalog.microservice(m).storage <=
+           network.node(k).storage_units -
+               placement.storage_used(catalog, k) + 1e-9;
+  };
+  auto under_budget = [&](MsId m) {
+    return placement.deployment_cost(catalog) +
+               catalog.microservice(m).deploy_cost <=
+           scenario.constants().budget + 1e-9;
+  };
+
+  // Nodes by descending compute capacity (the "high-capacity servers").
+  std::vector<NodeId> by_capacity(static_cast<std::size_t>(
+      scenario.num_nodes()));
+  for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+    by_capacity[static_cast<std::size_t>(k)] = k;
+  }
+  std::sort(by_capacity.begin(), by_capacity.end(), [&](NodeId a, NodeId b) {
+    return network.node(a).compute_gflops > network.node(b).compute_gflops;
+  });
+
+  // Categorise by requesting-user count.
+  std::vector<int> user_count(
+      static_cast<std::size_t>(scenario.num_microservices()), 0);
+  for (const auto& request : scenario.requests()) {
+    for (const MsId m : request.chain) {
+      ++user_count[static_cast<std::size_t>(m)];
+    }
+  }
+
+  // Feasibility floor first: one instance of every requested service on the
+  // strongest node with room, so later replication cannot starve a service
+  // of its only instance.
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (scenario.demand_nodes(m).empty()) continue;
+    for (const NodeId k : by_capacity) {
+      if (has_room(m, k)) {
+        placement.deploy(m, k);
+        break;
+      }
+    }
+  }
+
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& demand = scenario.demand_nodes(m);
+    if (demand.empty()) continue;
+    if (user_count[static_cast<std::size_t>(m)] <= single_user_threshold_) {
+      // Single-user: deploy right at (or as close as possible to) the
+      // demanding node.
+      for (const NodeId k : demand) {
+        if (under_budget(m) && has_room(m, k)) {
+          placement.deploy(m, k);
+        } else {
+          // Nearest alternative by virtual rate.
+          std::vector<NodeId> alt(by_capacity);
+          std::sort(alt.begin(), alt.end(), [&](NodeId a, NodeId b) {
+            return scenario.vlinks().rate(k, a) > scenario.vlinks().rate(k, b);
+          });
+          for (const NodeId q : alt) {
+            if (under_budget(m) && has_room(m, q) &&
+                !placement.deployed(m, q)) {
+              placement.deploy(m, q);
+              break;
+            }
+          }
+        }
+      }
+    } else {
+      // Multi-user: prioritise high-capacity servers, one replica per
+      // distinct demand region up to the demand-node count.
+      std::size_t replicas = 0;
+      for (const NodeId k : by_capacity) {
+        if (replicas >= demand.size()) break;
+        if (under_budget(m) && has_room(m, k) && !placement.deployed(m, k)) {
+          placement.deploy(m, k);
+          ++replicas;
+        }
+      }
+    }
+  }
+
+  // Spend leftover budget on replicas of the most-requested services near
+  // demand (latency-first, cost-blind — the paper's redundancy criticism).
+  std::vector<MsId> by_demand;
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (!scenario.demand_nodes(m).empty()) by_demand.push_back(m);
+  }
+  std::sort(by_demand.begin(), by_demand.end(), [&](MsId a, MsId b) {
+    return user_count[static_cast<std::size_t>(a)] >
+           user_count[static_cast<std::size_t>(b)];
+  });
+  bool placed_any = true;
+  while (placed_any) {
+    placed_any = false;
+    for (const MsId m : by_demand) {
+      for (const NodeId k : scenario.demand_nodes(m)) {
+        if (!placement.deployed(m, k) && under_budget(m) && has_room(m, k)) {
+          placement.deploy(m, k);
+          placed_any = true;
+          break;
+        }
+      }
+    }
+  }
+
+  core::Solution solution{placement, std::nullopt, {}, 0.0, {}};
+  const core::Evaluator evaluator(scenario);
+  core::Assignment routed =
+      jdr_routing(scenario, placement, single_user_threshold_);
+  if (routed.consistent_with(scenario, placement)) {
+    solution.assignment = std::move(routed);
+    solution.evaluation = evaluator.evaluate(placement, *solution.assignment);
+  } else {
+    solution.assignment = evaluator.router().route_all(placement);
+    solution.evaluation =
+        solution.assignment
+            ? evaluator.evaluate(placement, *solution.assignment)
+            : evaluator.evaluate(placement);
+  }
+  solution.runtime_seconds = timer.elapsed_seconds();
+  return solution;
+}
+
+}  // namespace socl::baselines

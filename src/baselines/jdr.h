@@ -1,0 +1,36 @@
+// JDR — Joint Deployment and Routing baseline, modelled on Peng et al. [11]
+// as the paper describes it (Section V-B): microservices are categorised
+// into single-user and multi-user groups; single-user services are deployed
+// close to their user's node, multi-user services are prioritised onto
+// high-capacity servers, and the remaining budget is spent on extra replicas
+// of the most-demanded services. Routing is latency-optimal given the
+// placement. By neglecting provisioning cost the strategy over-replicates,
+// which is exactly the redundancy the paper reports.
+#pragma once
+
+#include "baselines/algorithm.h"
+
+namespace socl::baselines {
+
+/// JDR's own routing rule: microservices requested by a single user are
+/// served as close to that user as possible; multi-user microservices are
+/// routed to the highest-capacity hosting server (the scheme's
+/// "prioritise high-capacity servers" criterion), ignoring path length —
+/// the dependency-blindness the paper criticises.
+core::Assignment jdr_routing(const core::Scenario& scenario,
+                             const core::Placement& placement,
+                             int single_user_threshold = 1);
+
+class Jdr final : public ProvisioningAlgorithm {
+ public:
+  /// Services requested by at most this many users count as "single-user".
+  explicit Jdr(int single_user_threshold = 1)
+      : single_user_threshold_(single_user_threshold) {}
+  std::string name() const override { return "JDR"; }
+  core::Solution solve(const core::Scenario& scenario) const override;
+
+ private:
+  int single_user_threshold_;
+};
+
+}  // namespace socl::baselines

@@ -1,0 +1,98 @@
+#include "baselines/random_provision.h"
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace socl::baselines {
+
+using core::MsId;
+using core::NodeId;
+
+core::Assignment random_routing(const core::Scenario& scenario,
+                                const core::Placement& placement,
+                                util::Rng& rng) {
+  core::Assignment assignment(scenario);
+  for (const auto& request : scenario.requests()) {
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      const auto hosts = placement.nodes_of(request.chain[pos]);
+      if (hosts.empty()) continue;
+      assignment.set(request.id, static_cast<int>(pos),
+                     hosts[rng.index(hosts.size())]);
+    }
+  }
+  return assignment;
+}
+
+core::Solution RandomProvision::solve(const core::Scenario& scenario) const {
+  util::WallTimer timer;
+  util::Rng rng(seed_);
+  const auto& catalog = scenario.catalog();
+  const auto& network = scenario.network();
+
+  core::Placement placement(scenario);
+
+  // Feasibility floor: every requested microservice gets one random host
+  // with storage room.
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (scenario.demand_nodes(m).empty()) continue;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto k =
+          static_cast<NodeId>(rng.index(static_cast<std::size_t>(
+              scenario.num_nodes())));
+      const double room = network.node(k).storage_units -
+                          placement.storage_used(catalog, k);
+      if (catalog.microservice(m).storage <= room + 1e-9) {
+        placement.deploy(m, k);
+        break;
+      }
+    }
+    if (placement.instance_count(m) == 0) {
+      // Degenerate storage: fall back to the first node with room.
+      for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+        const double room = network.node(k).storage_units -
+                            placement.storage_used(catalog, k);
+        if (catalog.microservice(m).storage <= room + 1e-9) {
+          placement.deploy(m, k);
+          break;
+        }
+      }
+    }
+  }
+
+  // Spend the rest of the budget on random pairs.
+  std::vector<std::pair<MsId, NodeId>> pairs;
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (scenario.demand_nodes(m).empty()) continue;
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      pairs.emplace_back(m, k);
+    }
+  }
+  rng.shuffle(pairs);
+  for (const auto& [m, k] : pairs) {
+    if (placement.deployed(m, k)) continue;
+    const double cost = placement.deployment_cost(catalog) +
+                        catalog.microservice(m).deploy_cost;
+    if (cost > scenario.constants().budget) continue;
+    const double room = network.node(k).storage_units -
+                        placement.storage_used(catalog, k);
+    if (catalog.microservice(m).storage > room + 1e-9) continue;
+    placement.deploy(m, k);
+  }
+
+  // Random routing: each chain position picks a uniformly random host.
+  core::Assignment assignment = random_routing(scenario, placement, rng);
+  const bool routable = assignment.consistent_with(scenario, placement);
+
+  core::Solution solution{placement, std::nullopt, {}, 0.0, {}};
+  const core::Evaluator evaluator(scenario);
+  if (routable) {
+    solution.assignment = assignment;
+    solution.evaluation = evaluator.evaluate(placement, assignment);
+  } else {
+    solution.evaluation = evaluator.evaluate(placement);
+  }
+  solution.runtime_seconds = timer.elapsed_seconds();
+  return solution;
+}
+
+}  // namespace socl::baselines

@@ -1,0 +1,33 @@
+// RP — Random Provisioning baseline (Section V-A).
+//
+// Deploys one instance of every requested microservice on a random node
+// (feasibility floor), then spends the remaining budget on uniformly random
+// (microservice, node) pairs subject to storage; each user's chain positions
+// are routed to uniformly random hosting nodes. The unstructured strategy is
+// the paper's worst-performing baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/algorithm.h"
+#include "util/rng.h"
+
+namespace socl::baselines {
+
+/// RP's routing rule: each chain position picks a uniformly random hosting
+/// node. Exposed so trace benches can re-roll routing per slot.
+core::Assignment random_routing(const core::Scenario& scenario,
+                                const core::Placement& placement,
+                                util::Rng& rng);
+
+class RandomProvision final : public ProvisioningAlgorithm {
+ public:
+  explicit RandomProvision(std::uint64_t seed = 7) : seed_(seed) {}
+  std::string name() const override { return "RP"; }
+  core::Solution solve(const core::Scenario& scenario) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace socl::baselines

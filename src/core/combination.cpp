@@ -1,0 +1,724 @@
+#include "core/combination.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "core/storage_planning.h"
+
+namespace socl::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Combiner::Combiner(const Scenario& scenario, const Partitioning& partitioning,
+                   const CombinationConfig& config)
+    : scenario_(&scenario),
+      partitioning_(&partitioning),
+      config_(config),
+      evaluator_(scenario) {
+  const auto services = static_cast<std::size_t>(scenario.num_microservices());
+  const auto nodes = static_cast<std::size_t>(scenario.num_nodes());
+
+  group_index_.assign(services, std::vector<int>(nodes, -1));
+  for (std::size_t m = 0; m < services; ++m) {
+    const auto& groups = partitioning.per_ms[m].groups;
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+      for (const NodeId k : groups[s]) {
+        group_index_[m][static_cast<std::size_t>(k)] = static_cast<int>(s);
+      }
+    }
+  }
+
+  dependency_adjacent_.assign(services, std::vector<bool>(services, false));
+  users_of_.assign(services, {});
+  for (const auto& request : scenario.requests()) {
+    for (std::size_t pos = 1; pos < request.chain.size(); ++pos) {
+      const auto a = static_cast<std::size_t>(request.chain[pos - 1]);
+      const auto b = static_cast<std::size_t>(request.chain[pos]);
+      dependency_adjacent_[a][b] = dependency_adjacent_[b][a] = true;
+    }
+    for (const MsId m : request.chain) {
+      users_of_[static_cast<std::size_t>(m)].push_back(request.id);
+    }
+  }
+}
+
+void Combiner::refresh_route_cache(const Placement& placement) const {
+  const ChainRouter& router = evaluator_.router();
+  cached_latency_.assign(scenario_->requests().size(), kInf);
+  cached_routes_.assign(scenario_->requests().size(), {});
+  cached_latency_sum_ = 0.0;
+  for (const auto& request : scenario_->requests()) {
+    auto route = router.route(request, placement);
+    const double d = route ? route->total() : kInf;
+    cached_latency_[static_cast<std::size_t>(request.id)] = d;
+    if (route) {
+      cached_routes_[static_cast<std::size_t>(request.id)] =
+          std::move(route->nodes);
+    }
+    cached_latency_sum_ += d;
+  }
+}
+
+double Combiner::cached_objective_without(MsId m, NodeId k,
+                                          const Placement& trial) const {
+  // Removing (m, k) can only affect users whose current optimal route sends
+  // m to k — everyone else's optimum is still available in the smaller
+  // feasible set. This cuts removal scans by roughly the replica count.
+  const ChainRouter& router = evaluator_.router();
+  double latency = cached_latency_sum_;
+  for (const int h : users_of_[static_cast<std::size_t>(m)]) {
+    const auto& request = scenario_->request(h);
+    const auto& route = cached_routes_[static_cast<std::size_t>(h)];
+    const int pos = request.position_of(m);
+    if (pos < 0 || route.empty() ||
+        route[static_cast<std::size_t>(pos)] != k) {
+      continue;
+    }
+    const auto rerouted = router.route(request, trial);
+    if (!rerouted) return kInf;
+    latency +=
+        rerouted->total() - cached_latency_[static_cast<std::size_t>(h)];
+  }
+  return evaluator_.combine(trial.deployment_cost(scenario_->catalog()),
+                            latency);
+}
+
+double Combiner::cached_objective_with_change(const Placement& trial,
+                                              MsId changed) const {
+  const ChainRouter& router = evaluator_.router();
+  double latency = cached_latency_sum_;
+  for (const int h : users_of_[static_cast<std::size_t>(changed)]) {
+    const auto& request = scenario_->request(h);
+    const auto route = router.route(request, trial);
+    if (!route) return kInf;
+    latency += route->total() - cached_latency_[static_cast<std::size_t>(h)];
+  }
+  return evaluator_.combine(trial.deployment_cost(scenario_->catalog()),
+                            latency);
+}
+
+NodeId Combiner::best_connection(int user, MsId m,
+                                 const Placement& placement) const {
+  const auto& request = scenario_->request(user);
+  const auto& vlinks = scenario_->vlinks();
+  const NodeId attach = request.attach_node;
+  const int user_group =
+      group_index_[static_cast<std::size_t>(m)][static_cast<std::size_t>(
+          attach)];
+
+  NodeId best_in_group = net::kInvalidNode;
+  double best_group_rate = -1.0;
+  NodeId best_global = net::kInvalidNode;
+  double best_global_rate = -1.0;
+  for (NodeId k = 0; k < scenario_->num_nodes(); ++k) {
+    if (!placement.deployed(m, k)) continue;
+    const double rate = vlinks.rate(attach, k);
+    if (rate > best_global_rate) {
+      best_global_rate = rate;
+      best_global = k;
+    }
+    if (user_group >= 0 &&
+        group_index_[static_cast<std::size_t>(m)]
+                    [static_cast<std::size_t>(k)] == user_group &&
+        rate > best_group_rate) {
+      best_group_rate = rate;
+      best_in_group = k;
+    }
+  }
+  return best_in_group != net::kInvalidNode ? best_in_group : best_global;
+}
+
+double Combiner::estimated_completion(const workload::UserRequest& request,
+                                      const Placement& placement) const {
+  const auto& vlinks = scenario_->vlinks();
+  const auto& network = scenario_->network();
+  const auto& catalog = scenario_->catalog();
+
+  NodeId prev = net::kInvalidNode;
+  NodeId first = net::kInvalidNode;
+  double total = 0.0;
+  for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+    const MsId m = request.chain[pos];
+    const NodeId k = best_connection(request.id, m, placement);
+    if (k == net::kInvalidNode) return kInf;  // service failure
+    if (pos == 0) {
+      first = k;
+      total += vlinks.transfer_time(request.data_in, request.attach_node, k);
+    } else {
+      total += vlinks.transfer_time(request.edge_data[pos - 1], prev, k);
+    }
+    total += catalog.microservice(m).compute_gflop /
+             network.node(k).compute_gflops;
+    prev = k;
+  }
+  total += vlinks.transfer_time(request.data_out, prev, first);
+  return total;
+}
+
+double Combiner::estimated_objective(const Placement& placement) const {
+  double latency = 0.0;
+  for (const auto& request : scenario_->requests()) {
+    latency += estimated_completion(request, placement);
+  }
+  return evaluator_.combine(placement.deployment_cost(scenario_->catalog()),
+                            latency);
+}
+
+double Combiner::psi_for_instance(MsId m, NodeId k,
+                                  const Placement& placement) const {
+  // ψ(P'^t): latency of users whose connection for m is the instance at k.
+  const auto& vlinks = scenario_->vlinks();
+  const double compute = scenario_->catalog().microservice(m).compute_gflop /
+                         scenario_->network().node(k).compute_gflops;
+  double total = 0.0;
+  for (const auto& request : scenario_->requests()) {
+    if (!request.uses(m)) continue;
+    if (best_connection(request.id, m, placement) != k) continue;
+    const double data = scenario_->request_inbound_data(request, m);
+    total += vlinks.transfer_time(data, request.attach_node, k) + compute;
+  }
+  return total;
+}
+
+double Combiner::zeta_for_instance(MsId m, NodeId k,
+                                   const Placement& placement) const {
+  // ζ_{i,k} = ψ(P''^t) − ψ(P'^t) where P'' excludes the instance at k and
+  // every affected user reconnects by the connection-update rule.
+  const auto& vlinks = scenario_->vlinks();
+  const auto& network = scenario_->network();
+  const double compute_k =
+      scenario_->catalog().microservice(m).compute_gflop /
+      network.node(k).compute_gflops;
+
+  Placement without = placement;
+  without.remove(m, k);
+
+  double before = 0.0;
+  double after = 0.0;
+  for (const auto& request : scenario_->requests()) {
+    if (!request.uses(m)) continue;
+    if (best_connection(request.id, m, placement) != k) continue;
+    const double data = scenario_->request_inbound_data(request, m);
+    before += vlinks.transfer_time(data, request.attach_node, k) + compute_k;
+    const NodeId q = best_connection(request.id, m, without);
+    if (q == net::kInvalidNode) return kInf;  // would orphan the user
+    after += vlinks.transfer_time(data, request.attach_node, q) +
+             scenario_->catalog().microservice(m).compute_gflop /
+                 network.node(q).compute_gflops;
+  }
+  return after - before;
+}
+
+std::vector<LatencyLoss> Combiner::latency_losses(
+    const Placement& placement) const {
+  // Algorithm 4: skip microservices down to one instance (service
+  // continuity), compute ζ per remaining instance, return ascending.
+  std::vector<std::pair<MsId, NodeId>> instances;
+  for (MsId m = 0; m < scenario_->num_microservices(); ++m) {
+    if (placement.instance_count(m) <= 1) continue;
+    for (NodeId k = 0; k < scenario_->num_nodes(); ++k) {
+      if (placement.deployed(m, k)) instances.emplace_back(m, k);
+    }
+  }
+  const auto& constants = scenario_->constants();
+  std::vector<LatencyLoss> losses(instances.size());
+  auto fill = [&](std::size_t i) {
+    const auto [m, k] = instances[i];
+    const double zeta = zeta_for_instance(m, k, placement);
+    const double gradient =
+        (1.0 - constants.lambda) * constants.latency_weight * zeta -
+        constants.lambda * scenario_->catalog().microservice(m).deploy_cost;
+    losses[i] = {m, k, zeta, gradient};
+  };
+  if (config_.use_parallel_stage && instances.size() > 8) {
+    util::ThreadPool pool(static_cast<std::size_t>(
+        config_.threads > 0 ? config_.threads : 0));
+    pool.parallel_for(instances.size(), fill);
+  } else {
+    for (std::size_t i = 0; i < instances.size(); ++i) fill(i);
+  }
+  std::sort(losses.begin(), losses.end(),
+            [](const LatencyLoss& a, const LatencyLoss& b) {
+              if (a.gradient != b.gradient) return a.gradient < b.gradient;
+              if (a.service != b.service) return a.service < b.service;
+              return a.node < b.node;
+            });
+  return losses;
+}
+
+bool Combiner::violates_deadline(const Placement& placement) const {
+  if (use_exact_eval()) {
+    const ChainRouter& router = evaluator_.router();
+    for (const auto& request : scenario_->requests()) {
+      const auto route = router.route(request, placement);
+      if (!route || route->total() > request.deadline + 1e-9) return true;
+    }
+    return false;
+  }
+  for (const auto& request : scenario_->requests()) {
+    if (estimated_completion(request, placement) >
+        request.deadline + 1e-9) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Combiner::use_exact_eval() const {
+  // Exact per-move routing costs ~U·V³·len̄ operations per evaluation; keep
+  // it while that stays comfortably inside interactive budgets.
+  const double users = static_cast<double>(scenario_->num_users());
+  const double nodes = static_cast<double>(scenario_->num_nodes());
+  return users * nodes * nodes * nodes * 5.0 <= 5e7;
+}
+
+double Combiner::serial_objective(const Placement& placement) const {
+  if (!use_exact_eval()) return estimated_objective(placement);
+  double latency = 0.0;
+  const ChainRouter& router = evaluator_.router();
+  for (const auto& request : scenario_->requests()) {
+    const auto route = router.route(request, placement);
+    if (!route) return kInf;
+    latency += route->total();
+  }
+  return evaluator_.combine(placement.deployment_cost(scenario_->catalog()),
+                            latency);
+}
+
+Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
+  Placement placement = pre.placement;
+  CombinationStats local_stats;
+  const double budget = scenario_->constants().budget;
+  const auto& catalog = scenario_->catalog();
+
+  // ---- Large-scale (parallel) stage: lines 1-5 of Algorithm 3. ----
+  if (config_.use_parallel_stage) {
+    const double parallel_target =
+        budget * std::max(1.0, config_.parallel_slack);
+    while (placement.deployment_cost(catalog) >= parallel_target) {
+      auto losses = latency_losses(placement);
+      if (losses.empty()) break;  // nothing combinable; budget unreachable
+      const auto take = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::floor(
+                 config_.omega * static_cast<double>(losses.size()))));
+      std::vector<LatencyLoss> omega_set(losses.begin(),
+                                         losses.begin() + static_cast<long>(
+                                             std::min(take, losses.size())));
+
+      // Dependency-conflict filter (line 4): among selected instances of
+      // chain-adjacent microservices, keep only the smaller ζ.
+      std::vector<bool> discard(omega_set.size(), false);
+      for (std::size_t a = 0; a < omega_set.size(); ++a) {
+        for (std::size_t b = a + 1; b < omega_set.size(); ++b) {
+          if (discard[a] || discard[b]) continue;
+          const auto ma = static_cast<std::size_t>(omega_set[a].service);
+          const auto mb = static_cast<std::size_t>(omega_set[b].service);
+          if (ma != mb && dependency_adjacent_[ma][mb]) {
+            // omega_set is ζ-ascending, so b is the larger loss.
+            discard[b] = true;
+          }
+        }
+      }
+
+      // Apply the parallel combine, honouring per-service floors.
+      std::vector<int> planned(
+          static_cast<std::size_t>(scenario_->num_microservices()), 0);
+      int removed = 0;
+      for (std::size_t i = 0; i < omega_set.size(); ++i) {
+        if (discard[i] || omega_set[i].zeta == kInf) continue;
+        const MsId m = omega_set[i].service;
+        auto& plan = planned[static_cast<std::size_t>(m)];
+        if (placement.instance_count(m) - plan <= 1) continue;
+        ++plan;
+        placement.remove(m, omega_set[i].node);
+        ++removed;
+      }
+      ++local_stats.parallel_rounds;
+      local_stats.parallel_removals += removed;
+      if (removed == 0) break;  // all picks blocked: avoid spinning
+    }
+  }
+
+  // Establish storage feasibility before the serial descent: the parallel
+  // stage merges without running Algorithm 5, and a pre-existing overload
+  // would otherwise re-trigger the same migration cascade on every serial
+  // candidate, poisoning the Q'' comparison.
+  if (config_.use_storage_planning) {
+    plan_storage(*scenario_, placement);
+  }
+
+  // ---- Small-scale (serial) stage: lines 6-15 of Algorithm 3. ----
+  std::vector<std::vector<bool>> banned(
+      static_cast<std::size_t>(scenario_->num_microservices()),
+      std::vector<bool>(static_cast<std::size_t>(scenario_->num_nodes()),
+                        false));
+  for (;;) {
+    auto losses = latency_losses(placement);
+    std::erase_if(losses, [&](const LatencyLoss& loss) {
+      return banned[static_cast<std::size_t>(loss.service)]
+                   [static_cast<std::size_t>(loss.node)] ||
+             loss.zeta == kInf;
+    });
+    if (losses.empty()) break;
+
+    // Q' (line 7) and the per-candidate Q'' scores. In the exact regime the
+    // incremental evaluator reroutes only each candidate's affected users,
+    // so the scan over every removable instance stays cheap; at very large
+    // scales the connection-rule estimate takes over.
+    const bool exact = use_exact_eval();
+    double q_before;
+    if (exact) {
+      refresh_route_cache(placement);
+      q_before = evaluator_.combine(
+          placement.deployment_cost(scenario_->catalog()),
+          cached_latency_sum_);
+    } else {
+      q_before = estimated_objective(placement);
+    }
+    for (auto& loss : losses) {
+      Placement trial = placement;
+      trial.remove(loss.service, loss.node);
+      loss.gradient = exact
+                          ? cached_objective_without(loss.service, loss.node,
+                                                     trial)
+                          : estimated_objective(trial);
+    }
+    std::sort(losses.begin(), losses.end(),
+              [](const LatencyLoss& a, const LatencyLoss& b) {
+                return a.gradient < b.gradient;
+              });
+    const LatencyLoss pick = losses.front();  // arg min (line 8)
+
+    const Placement snapshot = placement;
+    placement.remove(pick.service, pick.node);
+
+    if (config_.use_storage_planning) {
+      const auto plan = plan_storage(*scenario_, placement);
+      if (!plan.feasible) {
+        // Line 17 of Algorithm 5: storage cannot fit this many instances;
+        // keep combining (the removal stands, try the next round).
+        ++local_stats.serial_removals;
+        continue;
+      }
+    }
+
+    const double q_after = serial_objective(placement);  // Q'' (line 9)
+
+    // Deadline constraint check + roll-back (lines 12-15).
+    if (config_.use_rollback && violates_deadline(placement)) {
+      placement = snapshot;
+      banned[static_cast<std::size_t>(pick.service)]
+            [static_cast<std::size_t>(pick.node)] = true;
+      ++local_stats.rollbacks;
+      continue;
+    }
+
+    const bool over_budget =
+        placement.deployment_cost(scenario_->catalog()) >
+        scenario_->constants().budget + 1e-9;
+    const double delta = q_before - q_after + config_.theta;  // δ
+    if (delta <= 0.0 && !over_budget) {
+      // Objective rose past Θ: undo. The Θ disturbance already absorbed
+      // small rises; a candidate that still fails is banned and the descent
+      // continues with the next-cheapest instance instead of terminating,
+      // so one bad merge cannot strand the placement far from the optimum.
+      placement = snapshot;
+      banned[static_cast<std::size_t>(pick.service)]
+            [static_cast<std::size_t>(pick.node)] = true;
+      continue;
+    }
+    ++local_stats.serial_removals;
+  }
+
+  // ---- Multi-scale polish: screened best-move local search. ----
+  // Move repertoire mirrors the framework's own operations — instance
+  // combination (remove), warm-instance addition (paper feature 4), and
+  // Algorithm-5-style migration (relocate). Moves are screened with the
+  // cheap connection-rule estimate and only the most promising few are
+  // verified with the serial objective, preserving the coarse-then-fine
+  // multi-scale structure at polish time.
+  if (config_.use_relocation) {
+    polish(placement);
+  }
+
+  // ---- Multi-start: descend the dense basin as well and keep the best. ----
+  if (config_.use_multi_start) {
+    Placement dense(*scenario_);
+    for (MsId m = 0; m < scenario_->num_microservices(); ++m) {
+      for (const NodeId k : scenario_->demand_nodes(m)) dense.deploy(m, k);
+    }
+    descend_to_budget(dense);
+    if (config_.use_storage_planning) plan_storage(*scenario_, dense);
+    if (config_.use_relocation) polish(dense);
+    const bool dense_ok =
+        dense.deployment_cost(scenario_->catalog()) <=
+            scenario_->constants().budget + 1e-9 &&
+        (!config_.use_rollback || !violates_deadline(dense));
+    if (dense_ok &&
+        serial_objective(dense) < serial_objective(placement) - 1e-9) {
+      placement = std::move(dense);
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return placement;
+}
+
+void Combiner::descend_to_budget(Placement& placement) const {
+  const auto& catalog = scenario_->catalog();
+  const double budget = scenario_->constants().budget;
+  for (;;) {
+    const bool over_budget =
+        placement.deployment_cost(catalog) > budget + 1e-9;
+    auto losses = latency_losses(placement);
+    if (losses.empty()) break;
+    // Score every removal; exact incremental scoring when affordable.
+    const bool exact = use_exact_eval();
+    double current;
+    if (exact) {
+      refresh_route_cache(placement);
+      current = evaluator_.combine(placement.deployment_cost(catalog),
+                                   cached_latency_sum_);
+    } else {
+      current = estimated_objective(placement);
+    }
+    for (auto& loss : losses) {
+      Placement trial = placement;
+      trial.remove(loss.service, loss.node);
+      loss.gradient = exact
+                          ? cached_objective_without(loss.service, loss.node,
+                                                     trial)
+                          : estimated_objective(trial);
+    }
+    std::sort(losses.begin(), losses.end(),
+              [](const LatencyLoss& a, const LatencyLoss& b) {
+                return a.gradient < b.gradient;
+              });
+    if (!over_budget && losses.front().gradient >= current - 1e-9) break;
+    // Apply the best candidate that does not break a deadline (Eq. 4);
+    // while over budget a violating move is still taken as a last resort.
+    bool applied = false;
+    for (const auto& loss : losses) {
+      if (!over_budget && loss.gradient >= current - 1e-9) break;
+      Placement trial = placement;
+      trial.remove(loss.service, loss.node);
+      if (config_.use_rollback && violates_deadline(trial)) continue;
+      placement = std::move(trial);
+      applied = true;
+      break;
+    }
+    if (!applied) {
+      if (!over_budget) break;
+      placement.remove(losses.front().service, losses.front().node);
+    }
+  }
+}
+
+void Combiner::polish_descend(Placement& placement) const {
+  const auto& catalog = scenario_->catalog();
+  const auto& network = scenario_->network();
+  const double budget = scenario_->constants().budget;
+
+  struct Move {
+    enum class Kind { kRemove, kAdd, kRelocate } kind;
+    MsId service;
+    NodeId from = net::kInvalidNode;
+    NodeId to = net::kInvalidNode;
+    double estimate = 0.0;
+  };
+
+  auto apply = [](Placement& p, const Move& move) {
+    switch (move.kind) {
+      case Move::Kind::kRemove:
+        p.remove(move.service, move.from);
+        break;
+      case Move::Kind::kAdd:
+        p.deploy(move.service, move.to);
+        break;
+      case Move::Kind::kRelocate:
+        p.remove(move.service, move.from);
+        p.deploy(move.service, move.to);
+        break;
+    }
+  };
+
+  auto room_for = [&](MsId m, NodeId q) {
+    return catalog.microservice(m).storage <=
+           network.node(q).storage_units -
+               placement.storage_used(catalog, q) + 1e-9;
+  };
+
+  const int max_moves = 4 * scenario_->num_microservices() *
+                        std::max(1, config_.relocation_sweeps);
+  double current = serial_objective(placement);
+  for (int moves_made = 0; moves_made < max_moves; ++moves_made) {
+    // Enumerate feasible single moves and screen with the cheap estimate.
+    std::vector<Move> candidates;
+    const double cost = placement.deployment_cost(catalog);
+    for (MsId m = 0; m < scenario_->num_microservices(); ++m) {
+      if (scenario_->demand_nodes(m).empty()) continue;
+      const double kappa = catalog.microservice(m).deploy_cost;
+      for (NodeId k = 0; k < scenario_->num_nodes(); ++k) {
+        if (placement.deployed(m, k)) {
+          if (placement.instance_count(m) > 1) {
+            candidates.push_back(
+                {Move::Kind::kRemove, m, k, net::kInvalidNode, 0.0});
+          }
+          for (NodeId q = 0; q < scenario_->num_nodes(); ++q) {
+            if (q == k || placement.deployed(m, q) || !room_for(m, q)) {
+              continue;
+            }
+            candidates.push_back({Move::Kind::kRelocate, m, k, q, 0.0});
+          }
+        } else if (cost + kappa <= budget + 1e-9 && room_for(m, k)) {
+          candidates.push_back(
+              {Move::Kind::kAdd, m, net::kInvalidNode, k, 0.0});
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Score every move: exact incremental scoring when affordable (a move
+    // touches a single microservice, so only its users reroute), otherwise
+    // the connection-rule estimate.
+    const bool exact = use_exact_eval();
+    if (exact) refresh_route_cache(placement);
+    for (auto& move : candidates) {
+      Placement trial = placement;
+      apply(trial, move);
+      if (!exact) {
+        move.estimate = estimated_objective(trial);
+      } else if (move.kind == Move::Kind::kRemove) {
+        move.estimate =
+            cached_objective_without(move.service, move.from, trial);
+      } else {
+        move.estimate = cached_objective_with_change(trial, move.service);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Move& a, const Move& b) {
+                return a.estimate < b.estimate;
+              });
+
+    // Apply the best improving move that survives the deadline check.
+    const Move* best_move = nullptr;
+    Placement best_placement = placement;
+    double best_q = current;
+    for (std::size_t c = 0;
+         c < candidates.size() && candidates[c].estimate < current - 1e-9;
+         ++c) {
+      Placement trial = placement;
+      apply(trial, candidates[c]);
+      const double q = exact ? candidates[c].estimate
+                             : serial_objective(trial);
+      if (q >= current - 1e-9) continue;
+      if (config_.use_rollback && violates_deadline(trial)) continue;
+      best_q = q;
+      best_move = &candidates[c];
+      best_placement = std::move(trial);
+      break;  // candidates are score-ascending: first survivor is best
+    }
+    if (best_move == nullptr) break;
+    placement = std::move(best_placement);
+    current = best_q;
+  }
+}
+
+void Combiner::polish(Placement& placement) const {
+  polish_descend(placement);
+  const auto& catalog = scenario_->catalog();
+  const auto& network = scenario_->network();
+
+  // Expansion kick: force the most demanded services to replicate onto
+  // their busiest un-served demand nodes (even when a single add does not
+  // pay for itself), then re-descend; keep only on improvement. This opens
+  // the latency-rich basin that pure improving moves cannot reach.
+  {
+    Placement perturbed = placement;
+    int added = 0;
+    for (int round = 0; round < 4 && added < 4; ++round) {
+      MsId best_m = workload::kInvalidMs;
+      NodeId best_k = net::kInvalidNode;
+      double best_demand = 0.0;
+      for (MsId m = 0; m < scenario_->num_microservices(); ++m) {
+        if (scenario_->demand_nodes(m).empty()) continue;
+        if (perturbed.deployment_cost(catalog) +
+                catalog.microservice(m).deploy_cost >
+            scenario_->constants().budget + 1e-9) {
+          continue;
+        }
+        for (const NodeId k : scenario_->demand_nodes(m)) {
+          if (perturbed.deployed(m, k)) continue;
+          if (catalog.microservice(m).storage >
+              network.node(k).storage_units -
+                  perturbed.storage_used(catalog, k) + 1e-9) {
+            continue;
+          }
+          const double demand = scenario_->demand_data(m, k);
+          if (demand > best_demand) {
+            best_demand = demand;
+            best_m = m;
+            best_k = k;
+          }
+        }
+      }
+      if (best_m == workload::kInvalidMs) break;
+      perturbed.deploy(best_m, best_k);
+      ++added;
+    }
+    if (added > 0) {
+      polish_descend(perturbed);
+      if (serial_objective(perturbed) <
+          serial_objective(placement) - 1e-9) {
+        placement = std::move(perturbed);
+      }
+    }
+  }
+
+  // Iterated kick: escape single-move local optima by forcing the two most
+  // expensive multi-instance services down to one instance and re-descending;
+  // keep the perturbed result only when it wins.
+  for (int kick = 0; kick < 2; ++kick) {
+    Placement perturbed = placement;
+    std::vector<MsId> by_cost;
+    for (MsId m = 0; m < scenario_->num_microservices(); ++m) {
+      if (perturbed.instance_count(m) > 1) by_cost.push_back(m);
+    }
+    if (by_cost.empty()) break;
+    std::sort(by_cost.begin(), by_cost.end(), [&](MsId a, MsId b) {
+      return catalog.microservice(a).deploy_cost *
+                 perturbed.instance_count(a) >
+             catalog.microservice(b).deploy_cost *
+                 perturbed.instance_count(b);
+    });
+    for (std::size_t i = 0; i < std::min<std::size_t>(2 - kick, by_cost.size());
+         ++i) {
+      const MsId m = by_cost[i];
+      // Keep the instance with the largest local demand, drop the rest.
+      NodeId keep = net::kInvalidNode;
+      int keep_demand = -1;
+      for (NodeId k = 0; k < scenario_->num_nodes(); ++k) {
+        if (perturbed.deployed(m, k) &&
+            scenario_->demand_count(m, k) > keep_demand) {
+          keep_demand = scenario_->demand_count(m, k);
+          keep = k;
+        }
+      }
+      for (NodeId k = 0; k < scenario_->num_nodes(); ++k) {
+        if (k != keep) perturbed.remove(m, k);
+      }
+    }
+    polish_descend(perturbed);
+    if (serial_objective(perturbed) < serial_objective(placement) - 1e-9) {
+      placement = std::move(perturbed);
+    }
+  }
+}
+
+}  // namespace socl::core
+

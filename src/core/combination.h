@@ -1,0 +1,157 @@
+// Algorithms 3 & 4: Multi-scale Combination.
+//
+// Starting from the pre-provisioning P^t, instances of the same microservice
+// are merged to trade deployment cost against latency:
+//   - large-scale stage (parallel): while the budget (Eq. 5) is violated,
+//     compute the latency-loss list ζ (Algorithm 4), select the ω-fraction
+//     of instances with the smallest ζ, drop dependency-conflicted picks
+//     (keep the smaller ζ of any pair adjacent in some user chain), and
+//     combine them in one parallel sweep;
+//   - small-scale stage (serial): remove instances one at a time by minimum
+//     ζ while the objective gradient δ = Q' − Q'' + Θ stays positive, running
+//     storage planning (Algorithm 5) after every move and rolling back moves
+//     that violate a user deadline (Eq. 4).
+//
+// Internally users connect to instances with the paper's connection-update
+// rule (same group, then maximum channel speed); the cheap ψ latency model
+// drives ζ and Q. The final placement is re-routed exactly by ChainRouter
+// when SoCL assembles its solution.
+#pragma once
+
+#include "core/evaluator.h"
+#include "core/preprovision.h"
+#include "util/thread_pool.h"
+
+namespace socl::core {
+
+struct CombinationConfig {
+  /// Fraction of the latency-loss list combined per parallel round (ω).
+  double omega = 0.2;
+  /// The parallel stage runs while cost >= parallel_slack · K^max; the
+  /// remaining budget overshoot is closed by the serial stage, whose exact
+  /// per-move scoring picks far better final merges than the batched ζ
+  /// heuristic. 1.0 reproduces the paper's literal loop condition.
+  double parallel_slack = 1.6;
+  /// Disturbance factor Θ: tolerated objective rise per serial move.
+  double theta = 25.0;
+  /// Serial-stage shortlist: the ζ-ascending prefix whose members are
+  /// scored with the real objective before committing a move. Width 1 is
+  /// the paper's literal arg-min-ζ rule; a small shortlist recovers most of
+  /// GC-OG's move quality at a fraction of its scan cost.
+  int shortlist = 4;
+  /// Worker threads for the parallel stage (0 = hardware concurrency).
+  int threads = 0;
+  bool use_parallel_stage = true;   // ablation switches
+  bool use_storage_planning = true;
+  bool use_rollback = true;
+  /// Post-descent relocation polish: hill-climb single-instance migrations
+  /// (same mechanics as Algorithm 5's moves, but objective-driven). An
+  /// implementation extension documented in DESIGN.md; ablated in the
+  /// bench_ablation harness.
+  bool use_relocation = true;
+  int relocation_sweeps = 3;
+  /// Multi-start: additionally descend from the dense placement (every
+  /// demand node hosts its services) with the screened move engine and keep
+  /// the better basin. Costs roughly one extra descent; still far cheaper
+  /// than GC-OG's exhaustive per-move scans.
+  bool use_multi_start = true;
+};
+
+struct CombinationStats {
+  int parallel_rounds = 0;
+  int parallel_removals = 0;
+  int serial_removals = 0;
+  int rollbacks = 0;
+};
+
+/// One latency-loss entry ζ_{i,k} (Definition 8) with its objective
+/// gradient: the objective change of removing the instance,
+/// (1-λ)·w·ζ − λ·κ(m_i). Lists are ordered by ascending gradient so the
+/// front entries are the most profitable merges.
+struct LatencyLoss {
+  MsId service = workload::kInvalidMs;
+  NodeId node = net::kInvalidNode;
+  double zeta = 0.0;
+  double gradient = 0.0;
+};
+
+class Combiner {
+ public:
+  Combiner(const Scenario& scenario, const Partitioning& partitioning,
+           const CombinationConfig& config);
+
+  /// Runs both stages on a copy of the pre-provisioned placement.
+  Placement run(const Preprovisioning& pre, CombinationStats* stats = nullptr);
+
+  /// Algorithm 4 on an arbitrary placement: latency losses of every
+  /// removable instance (microservices at one instance are skipped),
+  /// ascending by ζ. Exposed for tests and the GC-OG baseline.
+  std::vector<LatencyLoss> latency_losses(const Placement& placement) const;
+
+  /// The connection-update rule: best serving node for (user, m) under
+  /// `placement`, preferring the user's group, maximising channel speed.
+  /// kInvalidNode when m has no instance at all.
+  NodeId best_connection(int user, MsId m, const Placement& placement) const;
+
+  /// Cheap completion-time estimate D̃_h under the connection map implied by
+  /// `placement` (upper-bounds the exact router's D_h).
+  double estimated_completion(const workload::UserRequest& request,
+                              const Placement& placement) const;
+
+  /// Σ_h D̃_h plus cost, combined into the objective (the Q of Algorithm 3).
+  double estimated_objective(const Placement& placement) const;
+
+  /// Objective used by the serial stage's Q'/Q'': the exact evaluation when
+  /// the instance is small enough to route exactly per move, otherwise the
+  /// connection-rule estimate. Exposed for tests.
+  double serial_objective(const Placement& placement) const;
+
+  /// Exact incremental scoring: refreshes the per-user latency cache for
+  /// `placement`; subsequent scored_move calls reroute only the users whose
+  /// chains contain the changed microservice, which makes exhaustive exact
+  /// candidate scans ~|M| times cheaper than full re-evaluation.
+  void refresh_route_cache(const Placement& placement) const;
+  /// Exact objective of `trial`, assuming it differs from the cached
+  /// placement only in instances of microservice `changed`.
+  double cached_objective_with_change(const Placement& trial,
+                                      MsId changed) const;
+  /// Exact objective of `trial`, assuming it equals the cached placement
+  /// minus the single instance (m, k): reroutes only users whose cached
+  /// route actually used that instance.
+  double cached_objective_without(MsId m, NodeId k,
+                                  const Placement& trial) const;
+
+  /// Screened best-move local search over {remove, add, relocate} moves,
+  /// wrapped with iterated perturbation kicks. Public so the online solver
+  /// can refine warm-started placements.
+  void polish(Placement& placement) const;
+  /// One descent pass of the polish (no kicks).
+  void polish_descend(Placement& placement) const;
+  /// Budget-forced screened removals: drives an over-budget placement to
+  /// the budget with estimate-screened, exactly-verified merges.
+  void descend_to_budget(Placement& placement) const;
+
+ private:
+
+  double psi_for_instance(MsId m, NodeId k, const Placement& placement) const;
+  double zeta_for_instance(MsId m, NodeId k, const Placement& placement) const;
+  bool violates_deadline(const Placement& placement) const;
+  bool use_exact_eval() const;
+
+  const Scenario* scenario_;
+  const Partitioning* partitioning_;
+  CombinationConfig config_;
+  Evaluator evaluator_;
+  /// group_index_[m][k]: group of node k for microservice m, or -1.
+  std::vector<std::vector<int>> group_index_;
+  /// Microservice pairs adjacent in some user chain (dependency conflicts).
+  std::vector<std::vector<bool>> dependency_adjacent_;
+  /// users_of_[m]: ids of users whose chain contains m.
+  std::vector<std::vector<int>> users_of_;
+  /// Route-latency cache for the incremental evaluator.
+  mutable std::vector<double> cached_latency_;
+  mutable std::vector<std::vector<NodeId>> cached_routes_;
+  mutable double cached_latency_sum_ = 0.0;
+};
+
+}  // namespace socl::core

@@ -1,0 +1,86 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace socl::core {
+
+std::string Evaluation::summary() const {
+  std::ostringstream out;
+  out << "objective=" << objective << " cost=" << deployment_cost
+      << " latency=" << total_latency << " (max " << max_latency << ")"
+      << " deadline_violations=" << deadline_violations
+      << (within_budget ? "" : " OVER-BUDGET")
+      << (storage_ok ? "" : " STORAGE-VIOLATION")
+      << (routable ? "" : " UNROUTABLE");
+  return out.str();
+}
+
+double Evaluator::combine(double cost, double total_latency) const {
+  const auto& constants = scenario_->constants();
+  return constants.lambda * cost +
+         (1.0 - constants.lambda) * constants.latency_weight * total_latency;
+}
+
+Evaluation Evaluator::evaluate(const Placement& placement) const {
+  Evaluation eval;
+  eval.deployment_cost = placement.deployment_cost(scenario_->catalog());
+  eval.within_budget =
+      eval.deployment_cost <= scenario_->constants().budget + 1e-9;
+  eval.storage_ok = placement.storage_feasible(*scenario_);
+
+  double total = 0.0;
+  double worst = 0.0;
+  for (const auto& request : scenario_->requests()) {
+    auto routed = router_.route(request, placement);
+    if (!routed) {
+      eval.routable = false;
+      eval.objective = std::numeric_limits<double>::infinity();
+      return eval;
+    }
+    const double d = routed->total();
+    total += d;
+    worst = std::max(worst, d);
+    if (d > request.deadline + 1e-9) ++eval.deadline_violations;
+  }
+  eval.routable = true;
+  eval.total_latency = total;
+  eval.max_latency = worst;
+  eval.mean_latency =
+      scenario_->num_users() ? total / scenario_->num_users() : 0.0;
+  eval.objective = combine(eval.deployment_cost, total);
+  return eval;
+}
+
+Evaluation Evaluator::evaluate(const Placement& placement,
+                               const Assignment& assignment) const {
+  Evaluation eval;
+  eval.deployment_cost = placement.deployment_cost(scenario_->catalog());
+  eval.within_budget =
+      eval.deployment_cost <= scenario_->constants().budget + 1e-9;
+  eval.storage_ok = placement.storage_feasible(*scenario_);
+  if (!assignment.consistent_with(*scenario_, placement)) {
+    eval.routable = false;
+    eval.objective = std::numeric_limits<double>::infinity();
+    return eval;
+  }
+  double total = 0.0;
+  double worst = 0.0;
+  for (const auto& request : scenario_->requests()) {
+    const double d =
+        router_.completion_time(request, assignment.user_route(request.id));
+    total += d;
+    worst = std::max(worst, d);
+    if (d > request.deadline + 1e-9) ++eval.deadline_violations;
+  }
+  eval.routable = true;
+  eval.total_latency = total;
+  eval.max_latency = worst;
+  eval.mean_latency =
+      scenario_->num_users() ? total / scenario_->num_users() : 0.0;
+  eval.objective = combine(eval.deployment_cost, total);
+  return eval;
+}
+
+}  // namespace socl::core

@@ -1,0 +1,55 @@
+// Uniform scoring of placements: every algorithm (SoCL, baselines, the
+// optimizer) is evaluated by routing its placement with the exact chain
+// router and computing the weighted objective of Eq. (3)/(8) plus the
+// constraint checks of Eqs. (4)-(6).
+#pragma once
+
+#include <string>
+
+#include "core/routing.h"
+
+namespace socl::core {
+
+/// Full evaluation of one placement.
+struct Evaluation {
+  bool routable = false;       ///< every user could be routed
+  double deployment_cost = 0;  ///< Σ_k K_k
+  double total_latency = 0;    ///< Σ_h D_h (seconds)
+  double objective = 0;        ///< λ·cost + (1-λ)·latency_weight·latency
+  int deadline_violations = 0;
+  bool within_budget = false;   ///< Eq. (5)
+  bool storage_ok = false;      ///< Eq. (6)
+  double max_latency = 0;       ///< worst D_h
+  double mean_latency = 0;
+
+  bool feasible() const {
+    return routable && deadline_violations == 0 && within_budget && storage_ok;
+  }
+  std::string summary() const;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Scenario& scenario)
+      : scenario_(&scenario), router_(scenario) {}
+
+  /// Routes the placement optimally and scores it.
+  Evaluation evaluate(const Placement& placement) const;
+
+  /// Scores a placement with a caller-supplied assignment (used to audit a
+  /// solver's own routing decisions).
+  Evaluation evaluate(const Placement& placement,
+                      const Assignment& assignment) const;
+
+  /// Objective combining rule used everywhere:
+  /// λ·cost + (1-λ)·latency_weight·Σ D_h.
+  double combine(double cost, double total_latency) const;
+
+  const ChainRouter& router() const { return router_; }
+
+ private:
+  const Scenario* scenario_;
+  ChainRouter router_;
+};
+
+}  // namespace socl::core

@@ -1,0 +1,62 @@
+// Online SoCL: stateful slot-to-slot provisioning (feature ① of the paper —
+// one-shot decisions that continuously respond to real-time user
+// distributions without prior knowledge of future arrivals).
+//
+// Instead of re-running the full pipeline every slot, the online solver
+// warm-starts from the previous slot's placement: it re-routes onto it,
+// repairs feasibility (budget/storage/coverage), and runs the screened
+// local-search refinement — falling back to a full SoCL solve when the
+// demand shifted too much (placement badly mismatched) or on the first
+// slot. This trades a bounded optimality loss for a large latency win in
+// the control loop, and avoids instance churn between slots (each migration
+// is a cold start in a real deployment).
+#pragma once
+
+#include <optional>
+
+#include "core/socl.h"
+
+namespace socl::core {
+
+struct OnlineParams {
+  SoCLParams socl;
+  /// Re-solve from scratch when the warm-started objective exceeds the
+  /// fresh estimate by this factor (1.15 = 15% staleness tolerance).
+  double resolve_threshold = 1.15;
+  /// Force a full re-solve every N slots regardless (0 = never).
+  int full_resolve_period = 12;
+};
+
+/// Per-slot bookkeeping of the online controller.
+struct OnlineStepStats {
+  bool warm_start_used = false;
+  bool full_resolve = false;
+  /// Instances added + removed relative to the previous slot's placement
+  /// (deployment churn; cold-start proxy).
+  int churn = 0;
+};
+
+class OnlineSoCL {
+ public:
+  explicit OnlineSoCL(OnlineParams params = {}) : params_(std::move(params)) {}
+
+  /// Provisioning decision for the current slot's scenario. The scenario's
+  /// network and catalog must stay fixed across calls; requests may change
+  /// arbitrarily (mobility, fresh chains).
+  Solution step(const Scenario& scenario, OnlineStepStats* stats = nullptr);
+
+  /// Forgets the carried placement (e.g. after a topology change).
+  void reset() { previous_.reset(); slot_ = 0; }
+
+  const OnlineParams& params() const { return params_; }
+
+ private:
+  OnlineParams params_;
+  std::optional<Placement> previous_;
+  int slot_ = 0;
+};
+
+/// Instance churn between two placements (|symmetric difference|).
+int placement_churn(const Placement& a, const Placement& b);
+
+}  // namespace socl::core

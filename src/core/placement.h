@@ -1,0 +1,85 @@
+// Deployment decision x(i,k) and routing assignment y(h,·,·) containers
+// (Definition 3), plus the derived quantities the constraints check:
+// per-node storage load (Eq. 6), total deployment cost (Eq. 1/5).
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace socl::core {
+
+/// Binary deployment matrix x(i,k) over microservices × nodes.
+class Placement {
+ public:
+  Placement(int num_microservices, int num_nodes);
+
+  /// Built from a scenario's dimensions.
+  explicit Placement(const Scenario& scenario)
+      : Placement(scenario.num_microservices(), scenario.num_nodes()) {}
+
+  int num_microservices() const { return services_; }
+  int num_nodes() const { return nodes_; }
+
+  bool deployed(MsId m, NodeId k) const { return x_[idx(m, k)] != 0; }
+  void deploy(MsId m, NodeId k);
+  void remove(MsId m, NodeId k);
+
+  /// Number of instances of m across all nodes.
+  int instance_count(MsId m) const {
+    return instance_count_[static_cast<std::size_t>(m)];
+  }
+  /// Total instances across all microservices.
+  int total_instances() const;
+
+  /// Nodes currently hosting m (ascending ids).
+  std::vector<NodeId> nodes_of(MsId m) const;
+
+  /// Total deployment cost Σ_k K_k = Σ_{i,k} κ(m_i)·x(i,k).
+  double deployment_cost(const workload::AppCatalog& catalog) const;
+
+  /// Storage used on node k: Σ_i x(i,k)·φ(m_i).
+  double storage_used(const workload::AppCatalog& catalog, NodeId k) const;
+
+  /// True when every node satisfies Eq. (6).
+  bool storage_feasible(const Scenario& scenario) const;
+
+  bool operator==(const Placement& other) const = default;
+
+ private:
+  std::size_t idx(MsId m, NodeId k) const;
+
+  int services_;
+  int nodes_;
+  std::vector<std::uint8_t> x_;
+  std::vector<int> instance_count_;
+};
+
+/// Routing assignment: for user h and chain position pos, the node that
+/// serves that microservice. kInvalidNode marks unassigned positions.
+class Assignment {
+ public:
+  explicit Assignment(const Scenario& scenario);
+
+  NodeId node_for(int user, int pos) const {
+    return slots_.at(static_cast<std::size_t>(user))
+        .at(static_cast<std::size_t>(pos));
+  }
+  void set(int user, int pos, NodeId k) {
+    slots_.at(static_cast<std::size_t>(user))
+        .at(static_cast<std::size_t>(pos)) = k;
+  }
+  const std::vector<NodeId>& user_route(int user) const {
+    return slots_.at(static_cast<std::size_t>(user));
+  }
+
+  /// True when every chain position of every user has a node and that node
+  /// hosts the microservice (constraints 9-10).
+  bool consistent_with(const Scenario& scenario,
+                       const Placement& placement) const;
+
+ private:
+  std::vector<std::vector<NodeId>> slots_;
+};
+
+}  // namespace socl::core

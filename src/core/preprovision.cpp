@@ -1,0 +1,99 @@
+#include "core/preprovision.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace socl::core {
+
+int budget_instance_bound(const Scenario& scenario, MsId m) {
+  const auto& catalog = scenario.catalog();
+  double others = 0.0;
+  for (MsId j = 0; j < scenario.num_microservices(); ++j) {
+    if (j != m) others += catalog.microservice(j).deploy_cost;
+  }
+  const double remaining = scenario.constants().budget - others;
+  const double kappa = catalog.microservice(m).deploy_cost;
+  const int bound = static_cast<int>(std::floor(remaining / kappa));
+  return std::max(1, bound);
+}
+
+double instance_contribution(const Scenario& scenario, MsId m,
+                             std::span<const NodeId> group, NodeId k) {
+  const auto& vlinks = scenario.vlinks();
+  double total = scenario.catalog().microservice(m).compute_gflop /
+                 scenario.network().node(k).compute_gflops;
+  for (const NodeId v : group) {
+    if (v == k) continue;
+    const double data = scenario.demand_data(m, v);
+    if (data <= 0.0) continue;
+    total += vlinks.transfer_time(data, v, k);
+  }
+  return total;
+}
+
+Preprovisioning preprovision(const Scenario& scenario,
+                             const Partitioning& partitioning,
+                             const PreprovisionConfig& config) {
+  Preprovisioning result{
+      {}, Placement(scenario), {}};
+  result.chosen.resize(partitioning.per_ms.size());
+  result.bound.assign(partitioning.per_ms.size(), 0);
+
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& partition = partitioning.per_ms[static_cast<std::size_t>(m)];
+    auto& chosen_groups = result.chosen[static_cast<std::size_t>(m)];
+    chosen_groups.resize(partition.groups.size());
+    if (partition.groups.empty()) continue;
+
+    const int demand_nodes =
+        static_cast<int>(scenario.demand_nodes(m).size());
+    const int bound =
+        config.use_quota
+            ? std::min(demand_nodes, budget_instance_bound(scenario, m))
+            : demand_nodes;
+    result.bound[static_cast<std::size_t>(m)] = bound;
+
+    // Group demand |U_{p_s(m_i)}| (lines 4-6).
+    std::vector<double> group_demand(partition.groups.size(), 0.0);
+    double total_demand = 0.0;
+    for (std::size_t s = 0; s < partition.groups.size(); ++s) {
+      for (const NodeId k : partition.groups[s]) {
+        group_demand[s] += scenario.demand_count(m, k);
+      }
+      total_demand += group_demand[s];
+    }
+    if (total_demand <= 0.0) continue;
+
+    for (std::size_t s = 0; s < partition.groups.size(); ++s) {
+      const auto& group = partition.groups[s];
+      const double epsilon = group_demand[s] / total_demand;  // ε_s(m_i)
+      const double quota = config.use_quota
+                               ? epsilon * static_cast<double>(bound)
+                               : static_cast<double>(group.size());
+      auto& hosts = chosen_groups[s];
+      if (quota >= static_cast<double>(group.size())) {
+        // Quota covers the group: provision everywhere (line 9).
+        hosts = group;
+      } else {
+        // Select placement sites by ascending instance contribution
+        // (lines 10-14); always at least one host per group with demand.
+        std::vector<std::pair<double, NodeId>> ranked;
+        ranked.reserve(group.size());
+        for (const NodeId k : group) {
+          ranked.emplace_back(instance_contribution(scenario, m, group, k),
+                              k);
+        }
+        std::sort(ranked.begin(), ranked.end());
+        const auto target = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::ceil(quota - 1e-12)));
+        for (std::size_t i = 0; i < std::min(target, ranked.size()); ++i) {
+          hosts.push_back(ranked[i].second);
+        }
+      }
+      for (const NodeId k : hosts) result.placement.deploy(m, k);
+    }
+  }
+  return result;
+}
+
+}  // namespace socl::core

@@ -1,0 +1,45 @@
+// Algorithm 2: Instance Pre-provisioning.
+//
+// Computes the budget-based instance bound N̄(m_i) = min{|V(m_i)|, N^u(m_i)}
+// with N^u(m_i) = ⌊(K^max − K^ι(m_i)) / κ(m_i)⌋ and K^ι(m_i) the cost of one
+// instance of every *other* microservice, distributes a per-group quota
+// ε_s(m_i)·N̄(m_i) proportional to group demand, and places instances on the
+// group nodes with the smallest instance contribution D_{p_s}(v_k)
+// (Definition 7: estimated group completion time if v_k were the sole host).
+#pragma once
+
+#include "core/partition.h"
+#include "core/placement.h"
+
+namespace socl::core {
+
+struct PreprovisionConfig {
+  /// When false, skips the quota mechanism and deploys on every demand node
+  /// (ablation switch; equivalent to an unbounded budget).
+  bool use_quota = true;
+};
+
+/// P^t: selected hosts per microservice per group, plus the union placement.
+struct Preprovisioning {
+  /// chosen[m][s] = nodes of group s of microservice m that received an
+  /// instance (subset of the group's nodes).
+  std::vector<std::vector<std::vector<NodeId>>> chosen;
+  Placement placement;
+  /// N̄(m_i) actually used per microservice.
+  std::vector<int> bound;
+};
+
+/// Budget-based maximum tolerant instance count N^u(m_i); at least 1 so
+/// every requested microservice stays deployable.
+int budget_instance_bound(const Scenario& scenario, MsId m);
+
+/// Instance contribution D_{p_s(m_i)}(v_k) (Eq. 13).
+double instance_contribution(const Scenario& scenario, MsId m,
+                             std::span<const NodeId> group, NodeId k);
+
+/// Runs Algorithm 2 on the initial partitioning.
+Preprovisioning preprovision(const Scenario& scenario,
+                             const Partitioning& partitioning,
+                             const PreprovisionConfig& config = {});
+
+}  // namespace socl::core

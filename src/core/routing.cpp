@@ -1,0 +1,146 @@
+#include "core/routing.h"
+
+#include <limits>
+
+namespace socl::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::optional<RouteResult> ChainRouter::route(
+    const workload::UserRequest& request, const Placement& placement) const {
+  const auto& vlinks = scenario_->vlinks();
+  const auto& network = scenario_->network();
+  const auto& catalog = scenario_->catalog();
+  const auto len = request.chain.size();
+
+  // Hosting candidates per layer.
+  std::vector<std::vector<NodeId>> layers(len);
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    layers[pos] = placement.nodes_of(request.chain[pos]);
+    if (layers[pos].empty()) return std::nullopt;
+  }
+
+  double best_total = kInf;
+  std::vector<NodeId> best_route;
+
+  // Condition the DP on the first-layer choice v_s (d_in and d_out both
+  // reference it).
+  for (const NodeId v_s : layers[0]) {
+    const double d_in =
+        vlinks.transfer_time(request.data_in, request.attach_node, v_s);
+    if (d_in == kInf) continue;
+
+    // dp[k] = best cumulative cycle cost with chain[pos] served at k.
+    std::vector<double> dp(layers[0].size(), 0.0);
+    std::vector<std::vector<int>> back(len);
+    // First layer is fixed to v_s: mark all other first-layer nodes dead.
+    for (std::size_t c = 0; c < layers[0].size(); ++c) {
+      dp[c] = layers[0][c] == v_s
+                  ? catalog.microservice(request.chain[0]).compute_gflop /
+                        network.node(v_s).compute_gflops
+                  : kInf;
+    }
+    for (std::size_t pos = 1; pos < len; ++pos) {
+      const double data = request.edge_data[pos - 1];
+      const auto& prev = layers[pos - 1];
+      const auto& cur = layers[pos];
+      std::vector<double> next(cur.size(), kInf);
+      back[pos].assign(cur.size(), -1);
+      for (std::size_t c = 0; c < cur.size(); ++c) {
+        const NodeId k = cur[c];
+        const double compute =
+            catalog.microservice(request.chain[pos]).compute_gflop /
+            network.node(k).compute_gflops;
+        for (std::size_t p = 0; p < prev.size(); ++p) {
+          if (dp[p] == kInf) continue;
+          const double transfer = vlinks.transfer_time(data, prev[p], k);
+          const double cand = dp[p] + transfer + compute;
+          if (cand < next[c]) {
+            next[c] = cand;
+            back[pos][c] = static_cast<int>(p);
+          }
+        }
+      }
+      dp = std::move(next);
+    }
+
+    // Terminal: return payload from the last node v_d back to v_s.
+    for (std::size_t c = 0; c < layers[len - 1].size(); ++c) {
+      if (dp[c] == kInf) continue;
+      const NodeId v_d = layers[len - 1][c];
+      const double d_out = vlinks.transfer_time(request.data_out, v_d, v_s);
+      const double total = d_in + dp[c] + d_out;
+      if (total < best_total) {
+        best_total = total;
+        // Reconstruct.
+        best_route.assign(len, net::kInvalidNode);
+        std::size_t cursor = c;
+        for (std::size_t pos = len; pos-- > 0;) {
+          best_route[pos] = layers[pos][cursor];
+          if (pos > 0) cursor = static_cast<std::size_t>(back[pos][cursor]);
+        }
+      }
+    }
+  }
+
+  if (best_route.empty()) return std::nullopt;
+
+  RouteResult result;
+  result.nodes = std::move(best_route);
+  // Recompute the breakdown from the chosen nodes (single source of truth).
+  result.d_in = vlinks.transfer_time(request.data_in, request.attach_node,
+                                     result.nodes.front());
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    result.compute +=
+        catalog.microservice(request.chain[pos]).compute_gflop /
+        network.node(result.nodes[pos]).compute_gflops;
+    if (pos > 0) {
+      result.transfer += vlinks.transfer_time(
+          request.edge_data[pos - 1], result.nodes[pos - 1],
+          result.nodes[pos]);
+    }
+  }
+  result.d_out = vlinks.transfer_time(request.data_out, result.nodes.back(),
+                                      result.nodes.front());
+  return result;
+}
+
+std::optional<Assignment> ChainRouter::route_all(
+    const Placement& placement) const {
+  Assignment assignment(*scenario_);
+  for (const auto& request : scenario_->requests()) {
+    auto routed = route(request, placement);
+    if (!routed) return std::nullopt;
+    for (std::size_t pos = 0; pos < routed->nodes.size(); ++pos) {
+      assignment.set(request.id, static_cast<int>(pos), routed->nodes[pos]);
+    }
+  }
+  return assignment;
+}
+
+double ChainRouter::completion_time(
+    const workload::UserRequest& request,
+    const std::vector<NodeId>& route_nodes) const {
+  const auto& vlinks = scenario_->vlinks();
+  const auto& network = scenario_->network();
+  const auto& catalog = scenario_->catalog();
+
+  double total = vlinks.transfer_time(request.data_in, request.attach_node,
+                                      route_nodes.front());
+  for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+    total += catalog.microservice(request.chain[pos]).compute_gflop /
+             network.node(route_nodes[pos]).compute_gflops;
+    if (pos > 0) {
+      total += vlinks.transfer_time(request.edge_data[pos - 1],
+                                    route_nodes[pos - 1], route_nodes[pos]);
+    }
+  }
+  total += vlinks.transfer_time(request.data_out, route_nodes.back(),
+                                route_nodes.front());
+  return total;
+}
+
+}  // namespace socl::core

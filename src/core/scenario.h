@@ -1,0 +1,130 @@
+// Scenario: one fully-specified problem instance — the substrate network,
+// the application catalog, the user requests, and the optimization constants
+// of Section III (λ, K^max, per-user D_h^max). Precomputes the routing
+// tables, virtual links, and the demand indices every SoCL stage consumes:
+//   U_k        users attached to node k
+//   V(m_i)     nodes hosting at least one request for m_i
+//   |U_vk^mi|  users at node k whose chain contains m_i
+//   r_i(k)     aggregate inbound data volume for m_i at node k (the r_i of
+//              Eq. 12/13, interpreted as data so r/B' is a delay)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/shortest_path.h"
+#include "net/topology.h"
+#include "net/virtual_link.h"
+#include "workload/catalog.h"
+#include "workload/microservice.h"
+#include "workload/request_gen.h"
+
+namespace socl::core {
+
+using net::NodeId;
+using workload::MsId;
+
+/// Optimization constants of the problem formulation.
+struct ProblemConstants {
+  /// Cost/latency trade-off weight λ in Eq. (3); cost gets λ, latency 1-λ.
+  double lambda = 0.5;
+  /// Global provisioning budget K^max (Eq. 5).
+  double budget = 6500.0;
+  /// Scales latency into objective units so that cost and latency terms are
+  /// commensurate (the paper's objective magnitudes imply such a scale).
+  double latency_weight = 10.0;
+};
+
+/// An immutable problem instance plus derived lookup tables.
+class Scenario {
+ public:
+  Scenario(net::EdgeNetwork network, const workload::AppCatalog& catalog,
+           std::vector<workload::UserRequest> requests,
+           ProblemConstants constants);
+
+  const net::EdgeNetwork& network() const { return network_; }
+  const workload::AppCatalog& catalog() const { return *catalog_; }
+  const std::vector<workload::UserRequest>& requests() const {
+    return requests_;
+  }
+  const workload::UserRequest& request(int h) const {
+    return requests_.at(static_cast<std::size_t>(h));
+  }
+  const ProblemConstants& constants() const { return constants_; }
+
+  const net::ShortestPaths& paths() const { return *paths_; }
+  const net::VirtualLinks& vlinks() const { return *vlinks_; }
+
+  int num_nodes() const { return static_cast<int>(network_.num_nodes()); }
+  int num_microservices() const { return catalog_->num_microservices(); }
+  int num_users() const { return static_cast<int>(requests_.size()); }
+
+  /// U_k: ids of users attached to node k.
+  const std::vector<int>& users_at(NodeId k) const {
+    return users_at_node_.at(static_cast<std::size_t>(k));
+  }
+
+  /// V(m_i): nodes with at least one attached user requesting m_i.
+  const std::vector<NodeId>& demand_nodes(MsId m) const {
+    return demand_nodes_.at(static_cast<std::size_t>(m));
+  }
+
+  /// |U_vk^mi|: number of users at node k whose chain contains m_i.
+  int demand_count(MsId m, NodeId k) const {
+    return demand_count_[static_cast<std::size_t>(m) *
+                             static_cast<std::size_t>(num_nodes()) +
+                         static_cast<std::size_t>(k)];
+  }
+
+  /// r_i(k): total inbound data volume for m_i across users at node k
+  /// (chain-edge data into m_i; upload payload when m_i is the chain head).
+  double demand_data(MsId m, NodeId k) const {
+    return demand_data_[static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(num_nodes()) +
+                        static_cast<std::size_t>(k)];
+  }
+
+  /// Inbound data volume of m at a specific request (0 if not in chain).
+  double request_inbound_data(const workload::UserRequest& request,
+                              MsId m) const;
+
+  /// Rebuilds the demand indices after attach nodes changed (mobility); the
+  /// network and request chains must be unchanged.
+  void refresh_demand_indices();
+
+  /// Replaces the requests (e.g. a new simulation slot) and reindexes.
+  void set_requests(std::vector<workload::UserRequest> requests);
+
+ private:
+  net::EdgeNetwork network_;
+  const workload::AppCatalog* catalog_;
+  std::vector<workload::UserRequest> requests_;
+  ProblemConstants constants_;
+
+  std::unique_ptr<net::ShortestPaths> paths_;
+  std::unique_ptr<net::VirtualLinks> vlinks_;
+
+  std::vector<std::vector<int>> users_at_node_;
+  std::vector<std::vector<NodeId>> demand_nodes_;
+  std::vector<int> demand_count_;
+  std::vector<double> demand_data_;
+};
+
+/// End-to-end scenario factory mirroring the paper's experimental setup.
+struct ScenarioConfig {
+  int num_nodes = 10;
+  int num_users = 40;
+  ProblemConstants constants;
+  net::TopologyConfig topology;
+  workload::RequestGenConfig requests;
+  bool use_tiny_catalog = false;
+  /// Explicit catalog override (wins over use_tiny_catalog when set); must
+  /// outlive the scenario. Defaults to the eshopOnContainers catalog.
+  const workload::AppCatalog* catalog = nullptr;
+};
+
+Scenario make_scenario(const ScenarioConfig& config, std::uint64_t seed);
+
+}  // namespace socl::core

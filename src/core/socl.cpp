@@ -1,0 +1,58 @@
+#include "core/socl.h"
+
+#include "core/storage_planning.h"
+#include "util/timer.h"
+
+namespace socl::core {
+
+Partitioning single_group_partitioning(const Scenario& scenario) {
+  Partitioning partitioning;
+  partitioning.per_ms.resize(
+      static_cast<std::size_t>(scenario.num_microservices()));
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& demand = scenario.demand_nodes(m);
+    if (!demand.empty()) {
+      partitioning.per_ms[static_cast<std::size_t>(m)].groups.push_back(
+          demand);
+    }
+  }
+  return partitioning;
+}
+
+Solution SoCL::solve(const Scenario& scenario) const {
+  util::WallTimer timer;
+
+  // Stage 1: region-based initial partition.
+  Partitioning partitioning =
+      params_.use_partition
+          ? initial_partition(scenario, params_.partition)
+          : single_group_partitioning(scenario);
+
+  // Stage 2: budget-bounded instance pre-provisioning.
+  PreprovisionConfig pre_config = params_.preprovision;
+  if (!params_.use_preprovision) pre_config.use_quota = false;
+  Preprovisioning pre = preprovision(scenario, partitioning, pre_config);
+
+  // Stage 3: multi-scale combination with storage planning and roll-back.
+  Combiner combiner(scenario, partitioning, params_.combination);
+  CombinationStats stats;
+  Placement placement = combiner.run(pre, &stats);
+
+  // Final storage pass: the combination stage plans storage per move, but a
+  // disabled planner or an all-quota pre-provisioning can leave overloads.
+  if (params_.combination.use_storage_planning) {
+    plan_storage(scenario, placement);
+  }
+
+  Solution solution{placement, std::nullopt, {}, 0.0, stats};
+  const Evaluator evaluator(scenario);
+  solution.assignment = evaluator.router().route_all(placement);
+  solution.evaluation =
+      solution.assignment
+          ? evaluator.evaluate(placement, *solution.assignment)
+          : evaluator.evaluate(placement);
+  solution.runtime_seconds = timer.elapsed_seconds();
+  return solution;
+}
+
+}  // namespace socl::core

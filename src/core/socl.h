@@ -1,0 +1,55 @@
+// SoCL: the end-to-end Scalable optimization framework with Cost-efficiency
+// and Latency reduction (Section IV, Figure 5). Chains the three modules —
+// region-based initial partition (Algorithm 1), instance pre-provisioning
+// (Algorithm 2), and multi-scale combination (Algorithms 3-5) — then routes
+// the resulting placement exactly and reports the evaluation.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/combination.h"
+
+namespace socl::core {
+
+/// All tunables of the framework; each maps to a paper hyper-parameter or an
+/// ablation switch called out in DESIGN.md.
+struct SoCLParams {
+  PartitionConfig partition;
+  PreprovisionConfig preprovision;
+  CombinationConfig combination;
+  /// Ablation switches: disabling a module replaces it with the trivial
+  /// alternative (one group / all demand nodes).
+  bool use_partition = true;
+  bool use_preprovision = true;
+};
+
+/// A provisioning + routing solution with bookkeeping for the benches.
+struct Solution {
+  Placement placement;
+  std::optional<Assignment> assignment;
+  Evaluation evaluation;
+  double runtime_seconds = 0.0;
+  CombinationStats combination_stats;
+};
+
+class SoCL {
+ public:
+  explicit SoCL(SoCLParams params = {}) : params_(std::move(params)) {}
+
+  const SoCLParams& params() const { return params_; }
+
+  /// One-shot decision for a scenario (a single time slot).
+  Solution solve(const Scenario& scenario) const;
+
+  static std::string name() { return "SoCL"; }
+
+ private:
+  SoCLParams params_;
+};
+
+/// Helper used by ablations: a degenerate partitioning with one group per
+/// microservice holding all of its demand nodes.
+Partitioning single_group_partitioning(const Scenario& scenario);
+
+}  // namespace socl::core

@@ -1,0 +1,146 @@
+#include "core/storage_planning.h"
+
+#include <algorithm>
+
+#include "core/fuzzy_ahp.h"
+
+namespace socl::core {
+namespace {
+
+/// Criteria weights for ρ, derived once from a fuzzy comparison matrix.
+/// Order: user count |U| (benefit), order factor R (benefit),
+/// deployment cost κ (benefit: pricier instances are costlier to serve
+/// remotely), storage φ (cost: large footprints should yield first).
+const std::vector<double>& rho_weights() {
+  static const std::vector<double> weights = [] {
+    const TriFuzzy eq = fuzzy_equal();
+    const TriFuzzy mod = fuzzy_moderate();
+    const TriFuzzy strong = fuzzy_strong();
+    // Pairwise importance: |U| > R > κ > φ.
+    const std::vector<std::vector<TriFuzzy>> comparison = {
+        {eq, mod, strong, strong},
+        {mod.reciprocal(), eq, mod, strong},
+        {strong.reciprocal(), mod.reciprocal(), eq, mod},
+        {strong.reciprocal(), strong.reciprocal(), mod.reciprocal(), eq},
+    };
+    return buckley_weights(comparison);
+  }();
+  return weights;
+}
+
+const std::vector<CriterionKind>& rho_kinds() {
+  static const std::vector<CriterionKind> kinds = {
+      CriterionKind::kBenefit, CriterionKind::kBenefit,
+      CriterionKind::kBenefit, CriterionKind::kCost};
+  return kinds;
+}
+
+}  // namespace
+
+double order_factor(const Scenario& scenario, MsId m, NodeId k) {
+  int first = 0, last = 0, mid = 0;
+  for (const int h : scenario.users_at(k)) {
+    const auto& request = scenario.request(h);
+    const int pos = request.position_of(m);
+    if (pos < 0) continue;
+    if (pos == 0) {
+      ++first;
+    } else if (pos + 1 == static_cast<int>(request.chain.size())) {
+      ++last;
+    } else {
+      ++mid;
+    }
+  }
+  const int total = first + last + mid;
+  if (total == 0) return 0.0;
+  return (3.0 * first + 2.0 * last + 1.0 * mid) / static_cast<double>(total);
+}
+
+std::vector<double> local_demand_factors(const Scenario& scenario,
+                                         const Placement& placement,
+                                         NodeId k,
+                                         const std::vector<MsId>& deployed) {
+  (void)placement;
+  std::vector<std::vector<double>> values;
+  values.reserve(deployed.size());
+  for (const MsId m : deployed) {
+    const auto& ms = scenario.catalog().microservice(m);
+    values.push_back({static_cast<double>(scenario.demand_count(m, k)),
+                      order_factor(scenario, m, k), ms.deploy_cost,
+                      ms.storage});
+  }
+  return fuzzy_ahp_scores(values, rho_weights(), rho_kinds());
+}
+
+StoragePlanResult plan_storage(const Scenario& scenario,
+                               Placement& placement) {
+  StoragePlanResult result;
+  const auto& catalog = scenario.catalog();
+  const auto& network = scenario.network();
+  const auto& vlinks = scenario.vlinks();
+
+  // Aggregate feasibility gate (line 1).
+  double total_capacity = 0.0;
+  for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+    total_capacity += network.node(k).storage_units;
+  }
+  double total_required = 0.0;
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    total_required += catalog.microservice(m).storage *
+                      static_cast<double>(placement.instance_count(m));
+  }
+  if (total_required > total_capacity + 1e-9) {
+    return result;  // infeasible: caller must combine further
+  }
+
+  for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+    const double capacity = network.node(k).storage_units;
+    // Evict by ascending ρ until the node fits (lines 8-14).
+    int guard = scenario.num_microservices() + 1;
+    while (placement.storage_used(catalog, k) > capacity + 1e-9 &&
+           guard-- > 0) {
+      std::vector<MsId> deployed;
+      for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+        if (placement.deployed(m, k)) deployed.push_back(m);
+      }
+      const auto rho = local_demand_factors(scenario, placement, k, deployed);
+
+      // Try instances in ascending ρ until one can be migrated.
+      std::vector<std::size_t> order(deployed.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return rho[a] < rho[b]; });
+
+      bool migrated = false;
+      for (const std::size_t pick : order) {
+        const MsId m = deployed[pick];
+        // Targets ordered by descending channel speed from k (line 11).
+        std::vector<NodeId> targets;
+        for (NodeId q = 0; q < scenario.num_nodes(); ++q) {
+          if (q != k) targets.push_back(q);
+        }
+        std::sort(targets.begin(), targets.end(), [&](NodeId a, NodeId b) {
+          return vlinks.rate(k, a) > vlinks.rate(k, b);
+        });
+        for (const NodeId q : targets) {
+          if (placement.deployed(m, q)) continue;
+          const double room = network.node(q).storage_units -
+                              placement.storage_used(catalog, q);
+          if (catalog.microservice(m).storage <= room + 1e-9) {
+            placement.remove(m, k);
+            placement.deploy(m, q);
+            result.migrations.push_back({m, k, q});
+            migrated = true;
+            break;
+          }
+        }
+        if (migrated) break;
+      }
+      if (!migrated) return result;  // stuck: report infeasible (line 17)
+    }
+  }
+  result.feasible = placement.storage_feasible(scenario);
+  return result;
+}
+
+}  // namespace socl::core

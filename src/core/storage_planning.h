@@ -1,0 +1,42 @@
+// Algorithm 5: Storage Planning.
+//
+// After a combination round the placement may violate per-node storage
+// (Eq. 6). If aggregate storage suffices, the planner computes the local
+// demand factor ρ (Definition 9) with FuzzyAHP over four criteria —
+// deployment cost κ, storage footprint φ, requesting-user count |U_vk^mi|,
+// and the order factor R_vk^mi = (3·u_first + 2·u_last + u_mid)/|U_vk^mi| —
+// and migrates the least-important instances from overloaded nodes to the
+// fastest-reachable node with room. Returns false when no feasible plan
+// exists, signalling Algorithm 3 to keep combining.
+#pragma once
+
+#include "core/placement.h"
+
+namespace socl::core {
+
+/// Order factor R_vk^mi: weights users for whom m is first (3), last (2),
+/// or intermediate (1) in their chain, normalised by the user count.
+double order_factor(const Scenario& scenario, MsId m, NodeId k);
+
+/// Local demand factor ρ_vk^mi for every deployed instance of node k,
+/// FuzzyAHP-scored; parallel vector to `deployed`.
+std::vector<double> local_demand_factors(const Scenario& scenario,
+                                         const Placement& placement, NodeId k,
+                                         const std::vector<MsId>& deployed);
+
+/// One migration performed by the planner (for observability/tests).
+struct Migration {
+  MsId service;
+  NodeId from;
+  NodeId to;
+};
+
+struct StoragePlanResult {
+  bool feasible = false;
+  std::vector<Migration> migrations;
+};
+
+/// Runs Algorithm 5 in place on `placement`.
+StoragePlanResult plan_storage(const Scenario& scenario, Placement& placement);
+
+}  // namespace socl::core

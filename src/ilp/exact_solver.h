@@ -1,0 +1,32 @@
+// Exact reference solver for tiny instances: branch-and-bound over the
+// deployment matrix x with the *true* chain-coupled objective (Eq. 2 routing
+// via ChainRouter). Exponential in |M|·|V| — intended for cross-checking the
+// MIP model and the heuristics in tests, not for benchmarks at scale.
+#pragma once
+
+#include "core/evaluator.h"
+
+namespace socl::ilp {
+
+struct ExactOptions {
+  double time_limit_s = 30.0;
+  /// Require deadline feasibility (Eq. 4); infeasible placements are skipped.
+  bool enforce_deadlines = true;
+  /// Require storage feasibility (Eq. 6).
+  bool enforce_storage = true;
+};
+
+struct ExactResult {
+  bool found = false;
+  bool timed_out = false;
+  double objective = 0.0;
+  core::Placement placement;
+  std::size_t placements_scored = 0;
+};
+
+/// Enumerates non-empty host sets per requested microservice with
+/// cost-based pruning. Objective and feasibility use the exact evaluator.
+ExactResult solve_exact(const core::Scenario& scenario,
+                        const ExactOptions& options = {});
+
+}  // namespace socl::ilp

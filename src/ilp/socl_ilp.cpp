@@ -1,0 +1,224 @@
+#include "ilp/socl_ilp.h"
+
+#include <string>
+
+#include "util/timer.h"
+
+namespace socl::ilp {
+
+using core::MsId;
+using core::NodeId;
+
+SoclIlp build_socl_ilp(const core::Scenario& scenario,
+                       const IlpBuildOptions& options) {
+  SoclIlp ilp;
+  const auto& catalog = scenario.catalog();
+  const auto& network = scenario.network();
+  const auto& vlinks = scenario.vlinks();
+  const auto& constants = scenario.constants();
+  const int nodes = scenario.num_nodes();
+  const int services = scenario.num_microservices();
+  const double latency_scale =
+      (1.0 - constants.lambda) * constants.latency_weight;
+
+  // x(i,k) for microservices that appear in at least one chain.
+  ilp.x_index.assign(static_cast<std::size_t>(services),
+                     std::vector<int>(static_cast<std::size_t>(nodes), -1));
+  for (MsId m = 0; m < services; ++m) {
+    if (scenario.demand_nodes(m).empty()) continue;
+    for (NodeId k = 0; k < nodes; ++k) {
+      ilp.x_index[static_cast<std::size_t>(m)][static_cast<std::size_t>(k)] =
+          ilp.model.add_binary(
+              constants.lambda * catalog.microservice(m).deploy_cost,
+              "x_" + catalog.microservice(m).name + "_" + std::to_string(k));
+    }
+  }
+
+  // y(h,pos,k): coefficient = scaled (d^h(m_i) + d_out share).
+  ilp.y_index.resize(scenario.requests().size());
+  for (const auto& request : scenario.requests()) {
+    auto& per_user = ilp.y_index[static_cast<std::size_t>(request.id)];
+    per_user.resize(request.chain.size());
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      const MsId m = request.chain[pos];
+      auto& per_pos = per_user[pos];
+      per_pos.assign(static_cast<std::size_t>(nodes), -1);
+      for (NodeId k = 0; k < nodes; ++k) {
+        // Transmission-computation cycle priced against the attach node.
+        const double inbound = scenario.request_inbound_data(request, m);
+        double delay =
+            vlinks.transfer_time(inbound, request.attach_node, k) +
+            catalog.microservice(m).compute_gflop /
+                network.node(k).compute_gflops;
+        if (pos + 1 == request.chain.size()) {
+          delay +=
+              vlinks.transfer_time(request.data_out, k, request.attach_node);
+        }
+        per_pos[static_cast<std::size_t>(k)] = ilp.model.add_binary(
+            latency_scale * delay,
+            "y_" + std::to_string(request.id) + "_" + std::to_string(pos) +
+                "_" + std::to_string(k));
+      }
+    }
+  }
+
+  // (9) covering: every (h,pos) is served (>= 1, tight at optimality).
+  for (const auto& request : scenario.requests()) {
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      std::vector<std::pair<int, double>> terms;
+      for (NodeId k = 0; k < nodes; ++k) {
+        terms.emplace_back(
+            ilp.y_index[static_cast<std::size_t>(request.id)][pos]
+                       [static_cast<std::size_t>(k)],
+            1.0);
+      }
+      ilp.model.add_constraint(std::move(terms), solver::Sense::kGe, 1.0,
+                               "assign");
+    }
+  }
+
+  // (10) y <= x.
+  for (const auto& request : scenario.requests()) {
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      const MsId m = request.chain[pos];
+      for (NodeId k = 0; k < nodes; ++k) {
+        const int xv = ilp.x_index[static_cast<std::size_t>(m)]
+                                  [static_cast<std::size_t>(k)];
+        const int yv = ilp.y_index[static_cast<std::size_t>(request.id)][pos]
+                                  [static_cast<std::size_t>(k)];
+        ilp.model.add_constraint({{yv, 1.0}, {xv, -1.0}}, solver::Sense::kLe,
+                                 0.0, "link");
+      }
+    }
+  }
+
+  // (5) budget.
+  {
+    std::vector<std::pair<int, double>> terms;
+    for (MsId m = 0; m < services; ++m) {
+      for (NodeId k = 0; k < nodes; ++k) {
+        const int xv = ilp.x_index[static_cast<std::size_t>(m)]
+                                  [static_cast<std::size_t>(k)];
+        if (xv >= 0) {
+          terms.emplace_back(xv, catalog.microservice(m).deploy_cost);
+        }
+      }
+    }
+    ilp.model.add_constraint(std::move(terms), solver::Sense::kLe,
+                             constants.budget, "budget");
+  }
+
+  // (6) storage per node.
+  for (NodeId k = 0; k < nodes; ++k) {
+    std::vector<std::pair<int, double>> terms;
+    for (MsId m = 0; m < services; ++m) {
+      const int xv = ilp.x_index[static_cast<std::size_t>(m)]
+                                [static_cast<std::size_t>(k)];
+      if (xv >= 0) terms.emplace_back(xv, catalog.microservice(m).storage);
+    }
+    if (!terms.empty()) {
+      ilp.model.add_constraint(std::move(terms), solver::Sense::kLe,
+                               network.node(k).storage_units, "storage");
+    }
+  }
+
+  // (4) optional per-user deadline rows over the same y coefficients
+  // (unscaled latency vs D_h^max).
+  if (options.deadline_rows) {
+    for (const auto& request : scenario.requests()) {
+      std::vector<std::pair<int, double>> terms;
+      for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+        for (NodeId k = 0; k < nodes; ++k) {
+          const int yv =
+              ilp.y_index[static_cast<std::size_t>(request.id)][pos]
+                         [static_cast<std::size_t>(k)];
+          const double coeff =
+              ilp.model.variable(yv).objective / latency_scale;
+          terms.emplace_back(yv, coeff);
+        }
+      }
+      ilp.model.add_constraint(std::move(terms), solver::Sense::kLe,
+                               request.deadline, "deadline");
+    }
+  }
+  return ilp;
+}
+
+core::Placement decode_placement(const core::Scenario& scenario,
+                                 const SoclIlp& ilp,
+                                 const std::vector<double>& solution) {
+  core::Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      const int xv = ilp.x_index[static_cast<std::size_t>(m)]
+                                [static_cast<std::size_t>(k)];
+      if (xv >= 0 && solution.at(static_cast<std::size_t>(xv)) > 0.5) {
+        placement.deploy(m, k);
+      }
+    }
+  }
+  return placement;
+}
+
+std::vector<double> encode_warm_start(const core::Scenario& scenario,
+                                      const SoclIlp& ilp,
+                                      const core::Placement& placement) {
+  std::vector<double> x(ilp.model.num_variables(), 0.0);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      const int xv = ilp.x_index[static_cast<std::size_t>(m)]
+                                [static_cast<std::size_t>(k)];
+      if (xv >= 0 && placement.deployed(m, k)) {
+        x[static_cast<std::size_t>(xv)] = 1.0;
+      }
+    }
+  }
+  // Route each (h,pos) to the deployed node with the cheapest y coefficient
+  // (the model's own optimal routing given x).
+  for (const auto& request : scenario.requests()) {
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      const MsId m = request.chain[pos];
+      int best = -1;
+      double best_cost = 0.0;
+      for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+        if (!placement.deployed(m, k)) continue;
+        const int yv = ilp.y_index[static_cast<std::size_t>(request.id)][pos]
+                                  [static_cast<std::size_t>(k)];
+        const double cost = ilp.model.variable(yv).objective;
+        if (best < 0 || cost < best_cost) {
+          best = yv;
+          best_cost = cost;
+        }
+      }
+      if (best < 0) return {};  // placement misses a required microservice
+      x[static_cast<std::size_t>(best)] = 1.0;
+    }
+  }
+  return x;
+}
+
+OptResult solve_opt(const core::Scenario& scenario,
+                    const solver::MipOptions& mip_options,
+                    const IlpBuildOptions& build_options) {
+  util::WallTimer timer;
+  const SoclIlp ilp = build_socl_ilp(scenario, build_options);
+  const solver::MipResult mip = solver::solve_mip(ilp.model, mip_options);
+
+  OptResult result{
+      {core::Placement(scenario), std::nullopt, {}, 0.0, {}}, mip};
+  if (mip.has_solution()) {
+    result.solution.placement = decode_placement(scenario, ilp, mip.x);
+    const core::Evaluator evaluator(scenario);
+    result.solution.assignment =
+        evaluator.router().route_all(result.solution.placement);
+    result.solution.evaluation =
+        result.solution.assignment
+            ? evaluator.evaluate(result.solution.placement,
+                                 *result.solution.assignment)
+            : evaluator.evaluate(result.solution.placement);
+  }
+  result.solution.runtime_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace socl::ilp

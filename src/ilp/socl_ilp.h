@@ -1,0 +1,61 @@
+// The paper's ILP reformulation (Definition 4) and its optimizer-backed
+// solution — the OPT/Gurobi role of Figs. 2 and 7.
+//
+// Variables: x(i,k) deployment, y(h,pos,k) service assignment. Objective
+// Eq. (8): λ·Σ κ(m_i)x(i,k) + (1-λ)·w·Σ y·(d^h(m_i) + d_out^h). Following
+// the paper's linear treatment, the transmission-computation cycle
+// d^h(m_i) at node k is priced against the request's attach node f(u_h)
+// (the cycle origin), which makes every y coefficient a constant; the exact
+// chain-coupled model is available separately in exact_solver.h and the gap
+// between the two is measured in the tests.
+//
+// Constraints: (9) assignment covering (as >=, tight at optimality since all
+// delay coefficients are positive), (10) y <= x, (5) budget, (6) storage,
+// (4) optional per-user deadline rows.
+#pragma once
+
+#include "core/socl.h"
+#include "solver/mip.h"
+
+namespace socl::ilp {
+
+struct IlpBuildOptions {
+  /// Include Eq. (4) deadline rows (the paper's QoS constraint).
+  bool deadline_rows = true;
+};
+
+/// Built model plus the index maps needed to decode solutions.
+struct SoclIlp {
+  solver::Model model;
+  /// x_index[m][k] -> model variable, -1 when the microservice has no demand
+  /// (its x is fixed to 0 and omitted).
+  std::vector<std::vector<int>> x_index;
+  /// y_index[h][pos][k] -> model variable.
+  std::vector<std::vector<std::vector<int>>> y_index;
+};
+
+SoclIlp build_socl_ilp(const core::Scenario& scenario,
+                       const IlpBuildOptions& options = {});
+
+/// Decodes the x-part of a MIP solution into a placement.
+core::Placement decode_placement(const core::Scenario& scenario,
+                                 const SoclIlp& ilp,
+                                 const std::vector<double>& solution);
+
+/// Encodes a placement (plus its optimal per-model routing) as a feasible
+/// warm-start vector for the MIP.
+std::vector<double> encode_warm_start(const core::Scenario& scenario,
+                                      const SoclIlp& ilp,
+                                      const core::Placement& placement);
+
+/// End-to-end OPT: build, solve with the MIP engine, decode, evaluate with
+/// the exact router (same scoring as every other algorithm).
+struct OptResult {
+  core::Solution solution;
+  solver::MipResult mip;
+};
+OptResult solve_opt(const core::Scenario& scenario,
+                    const solver::MipOptions& mip_options = {},
+                    const IlpBuildOptions& build_options = {});
+
+}  // namespace socl::ilp

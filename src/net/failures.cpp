@@ -1,0 +1,125 @@
+#include "net/failures.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "net/shortest_path.h"
+
+namespace socl::net {
+namespace {
+
+// NodeId and LinkId are the same underlying type; one helper serves both.
+bool contains(const std::vector<int>& ids, int id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+}  // namespace
+
+EdgeNetwork apply_failures(const EdgeNetwork& network,
+                           const FailurePlan& plan) {
+  for (const NodeId k : plan.failed_nodes) {
+    if (k < 0 || static_cast<std::size_t>(k) >= network.num_nodes()) {
+      throw std::out_of_range("apply_failures: bad node id");
+    }
+  }
+  for (const LinkId l : plan.failed_links) {
+    if (l < 0 || static_cast<std::size_t>(l) >= network.num_links()) {
+      throw std::out_of_range("apply_failures: bad link id");
+    }
+  }
+
+  EdgeNetwork degraded(network.noise_w());
+  for (std::size_t k = 0; k < network.num_nodes(); ++k) {
+    EdgeNode node = network.node(static_cast<NodeId>(k));
+    if (contains(plan.failed_nodes, static_cast<NodeId>(k))) {
+      // Isolated husk: keeps the id stable but can host nothing. Compute
+      // stays epsilon-positive so latency formulas remain finite if a stale
+      // placement is evaluated against the degraded substrate.
+      node.compute_gflops = 1e-6;
+      node.storage_units = 0.0;
+    }
+    degraded.add_node(node);
+  }
+  for (std::size_t l = 0; l < network.num_links(); ++l) {
+    const auto& link = network.link(static_cast<LinkId>(l));
+    if (contains(plan.failed_links, static_cast<LinkId>(l))) continue;
+    if (contains(plan.failed_nodes, link.a) ||
+        contains(plan.failed_nodes, link.b)) {
+      continue;
+    }
+    degraded.add_link_with_rate(link.a, link.b, link.rate_gbps);
+  }
+  return degraded;
+}
+
+bool survivors_connected(const EdgeNetwork& degraded,
+                         const std::vector<NodeId>& failed_nodes) {
+  const ShortestPaths paths(degraded);
+  NodeId anchor = kInvalidNode;
+  for (NodeId k = 0; k < static_cast<NodeId>(degraded.num_nodes()); ++k) {
+    if (!contains(failed_nodes, k)) {
+      anchor = k;
+      break;
+    }
+  }
+  if (anchor == kInvalidNode) return true;  // everything failed: vacuous
+  for (NodeId k = 0; k < static_cast<NodeId>(degraded.num_nodes()); ++k) {
+    if (contains(failed_nodes, k)) continue;
+    if (!paths.reachable(anchor, k)) return false;
+  }
+  return true;
+}
+
+FailurePlan random_failures(const EdgeNetwork& network,
+                            double link_failure_prob, int max_node_failures,
+                            util::Rng& rng, bool keep_survivors_connected) {
+  FailurePlan plan;
+  // Node failures first (they dominate connectivity).
+  for (int attempt = 0;
+       attempt < 4 * max_node_failures &&
+       static_cast<int>(plan.failed_nodes.size()) < max_node_failures;
+       ++attempt) {
+    const auto k = static_cast<NodeId>(rng.index(network.num_nodes()));
+    if (contains(plan.failed_nodes, k)) continue;
+    plan.failed_nodes.push_back(k);
+    if (keep_survivors_connected &&
+        !survivors_connected(apply_failures(network, plan),
+                             plan.failed_nodes)) {
+      plan.failed_nodes.pop_back();
+    }
+  }
+  for (std::size_t l = 0; l < network.num_links(); ++l) {
+    if (!rng.bernoulli(link_failure_prob)) continue;
+    plan.failed_links.push_back(static_cast<LinkId>(l));
+    if (keep_survivors_connected &&
+        !survivors_connected(apply_failures(network, plan),
+                             plan.failed_nodes)) {
+      plan.failed_links.pop_back();
+    }
+  }
+  return plan;
+}
+
+std::vector<NodeId> failover_targets(
+    const EdgeNetwork& degraded, const std::vector<NodeId>& failed_nodes) {
+  std::vector<NodeId> fallback(degraded.num_nodes(), kInvalidNode);
+  for (const NodeId dead : failed_nodes) {
+    double best = std::numeric_limits<double>::infinity();
+    for (NodeId k = 0; k < static_cast<NodeId>(degraded.num_nodes()); ++k) {
+      if (contains(failed_nodes, k)) continue;
+      const auto& a = degraded.node(dead);
+      const auto& b = degraded.node(k);
+      const double dx = a.x_m - b.x_m;
+      const double dy = a.y_m - b.y_m;
+      const double dist = dx * dx + dy * dy;
+      if (dist < best) {
+        best = dist;
+        fallback[static_cast<std::size_t>(dead)] = k;
+      }
+    }
+  }
+  return fallback;
+}
+
+}  // namespace socl::net

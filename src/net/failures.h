@@ -1,0 +1,50 @@
+// Failure injection for resilience studies: edge links and whole edge
+// servers can fail; the framework must re-provision on the degraded
+// substrate. Node ids stay stable across failures (placements and request
+// attachments keep indexing the same servers), a failed node is isolated —
+// all incident links removed, compute/storage zeroed — and its users are
+// re-attached to the nearest alive station.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "util/rng.h"
+
+namespace socl::net {
+
+struct FailurePlan {
+  std::vector<LinkId> failed_links;
+  std::vector<NodeId> failed_nodes;
+
+  bool empty() const { return failed_links.empty() && failed_nodes.empty(); }
+};
+
+/// Applies a failure plan: returns a network with the same node ids where
+/// failed nodes are isolated (no links, ~zero compute, zero storage) and
+/// failed links are absent. Link ids are re-assigned.
+EdgeNetwork apply_failures(const EdgeNetwork& network,
+                           const FailurePlan& plan);
+
+/// Samples a random failure plan. Links fail independently with
+/// `link_failure_prob`; up to `max_node_failures` nodes fail uniformly.
+/// When `keep_survivors_connected` is set, candidate failures that would
+/// disconnect the surviving subgraph are skipped.
+FailurePlan random_failures(const EdgeNetwork& network,
+                            double link_failure_prob, int max_node_failures,
+                            util::Rng& rng,
+                            bool keep_survivors_connected = true);
+
+/// True when every non-failed node can reach every other non-failed node in
+/// the degraded network.
+bool survivors_connected(const EdgeNetwork& degraded,
+                         const std::vector<NodeId>& failed_nodes);
+
+/// Nearest surviving node for every failed node (geometric distance —
+/// users camp on the next-closest cell); kInvalidNode entries for healthy
+/// nodes. Used by workload::reattach_users.
+std::vector<NodeId> failover_targets(const EdgeNetwork& degraded,
+                                     const std::vector<NodeId>& failed_nodes);
+
+}  // namespace socl::net

@@ -1,0 +1,103 @@
+#include "net/shortest_path.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace socl::net {
+
+ShortestPaths::ShortestPaths(const EdgeNetwork& network)
+    : network_(&network), n_(network.num_nodes()) {
+  hops_.assign(n_ * n_, unreachable());
+  parent_.assign(n_ * n_, kInvalidNode);
+  inv_rate_.assign(n_ * n_, std::numeric_limits<double>::infinity());
+  bottleneck_.assign(n_ * n_, 0.0);
+
+  // BFS per source; equal-hop ties resolved toward the larger bottleneck
+  // rate (and then larger Σ1/rate improvement) for determinism.
+  for (std::size_t src = 0; src < n_; ++src) {
+    const auto source = static_cast<NodeId>(src);
+    hops_[idx(source, source)] = 0;
+    inv_rate_[idx(source, source)] = 0.0;
+    bottleneck_[idx(source, source)] = std::numeric_limits<double>::infinity();
+
+    std::deque<NodeId> frontier{source};
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      const int du = hops_[idx(source, u)];
+      for (const auto& inc : network.neighbors(u)) {
+        const NodeId v = inc.neighbor;
+        const double rate =
+            network.link(inc.link).rate_gbps;
+        const double cand_bottleneck =
+            std::min(bottleneck_[idx(source, u)], rate);
+        const double cand_inv = inv_rate_[idx(source, u)] + 1.0 / rate;
+        auto& dv = hops_[idx(source, v)];
+        if (dv == unreachable()) {
+          dv = du + 1;
+          parent_[idx(source, v)] = u;
+          bottleneck_[idx(source, v)] = cand_bottleneck;
+          inv_rate_[idx(source, v)] = cand_inv;
+          frontier.push_back(v);
+        } else if (dv == du + 1) {
+          // Same hop count: prefer the stronger path.
+          auto& best_bottleneck = bottleneck_[idx(source, v)];
+          auto& best_inv = inv_rate_[idx(source, v)];
+          if (cand_bottleneck > best_bottleneck ||
+              (cand_bottleneck == best_bottleneck && cand_inv < best_inv)) {
+            parent_[idx(source, v)] = u;
+            best_bottleneck = cand_bottleneck;
+            best_inv = cand_inv;
+          }
+        }
+      }
+    }
+  }
+}
+
+int ShortestPaths::hops(NodeId a, NodeId b) const { return hops_[idx(a, b)]; }
+
+std::vector<NodeId> ShortestPaths::path(NodeId a, NodeId b) const {
+  if (hops(a, b) == unreachable()) return {};
+  std::vector<NodeId> reversed;
+  for (NodeId cur = b; cur != kInvalidNode && cur != a;
+       cur = parent_[idx(a, cur)]) {
+    reversed.push_back(cur);
+  }
+  reversed.push_back(a);
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+std::vector<LinkId> ShortestPaths::path_links(NodeId a, NodeId b) const {
+  std::vector<LinkId> links;
+  const auto nodes = path(a, b);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    for (const auto& inc : network_->neighbors(nodes[i - 1])) {
+      if (inc.neighbor == nodes[i]) {
+        links.push_back(inc.link);
+        break;
+      }
+    }
+  }
+  return links;
+}
+
+double ShortestPaths::bottleneck_rate(NodeId a, NodeId b) const {
+  return bottleneck_[idx(a, b)];
+}
+
+double ShortestPaths::inverse_rate_sum(NodeId a, NodeId b) const {
+  return inv_rate_[idx(a, b)];
+}
+
+std::size_t ShortestPaths::idx(NodeId a, NodeId b) const {
+  if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= n_ ||
+      static_cast<std::size_t>(b) >= n_) {
+    throw std::out_of_range("ShortestPaths: bad node id");
+  }
+  return static_cast<std::size_t>(a) * n_ + static_cast<std::size_t>(b);
+}
+
+}  // namespace socl::net

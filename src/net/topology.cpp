@@ -1,0 +1,155 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace socl::net {
+namespace {
+
+double distance_m(const EdgeNode& a, const EdgeNode& b) {
+  const double dx = a.x_m - b.x_m;
+  const double dy = a.y_m - b.y_m;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Channel gain for the log-distance path-loss model, floored at the
+/// reference distance so co-located stations do not blow up the SNR.
+double channel_gain(const TopologyConfig& config, double dist_m) {
+  const double d = std::max(dist_m, config.ref_distance_m);
+  return config.gain_ref *
+         std::pow(config.ref_distance_m / d, config.path_loss_exponent);
+}
+
+/// Union-find over node indices for component bridging.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+EdgeNetwork make_topology(const TopologyConfig& config, std::uint64_t seed) {
+  if (config.num_nodes <= 0) {
+    throw std::invalid_argument("make_topology: num_nodes <= 0");
+  }
+  util::Rng rng(seed);
+  EdgeNetwork network(config.noise_w);
+
+  // Rejection-sample node positions in the deployment disk with a minimum
+  // separation; relax the separation if the disk is too crowded.
+  double separation = config.min_separation_m;
+  std::vector<EdgeNode> placed;
+  while (static_cast<int>(placed.size()) < config.num_nodes) {
+    bool accepted = false;
+    for (int attempt = 0; attempt < 200 && !accepted; ++attempt) {
+      const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double radius = config.radius_m * std::sqrt(rng.uniform());
+      EdgeNode node;
+      node.x_m = radius * std::cos(angle);
+      node.y_m = radius * std::sin(angle);
+      accepted = true;
+      for (const auto& other : placed) {
+        if (distance_m(node, other) < separation) {
+          accepted = false;
+          break;
+        }
+      }
+      if (accepted) placed.push_back(node);
+    }
+    if (!accepted) separation *= 0.8;  // crowded disk: relax and retry
+  }
+
+  for (auto& node : placed) {
+    node.compute_gflops =
+        rng.uniform(config.compute_min_gflops, config.compute_max_gflops);
+    node.storage_units =
+        rng.uniform(config.storage_min_units, config.storage_max_units);
+    node.tx_power_w = 1.0;
+    network.add_node(node);
+  }
+
+  const auto n = static_cast<std::size_t>(config.num_nodes);
+  DisjointSets components(n);
+  auto connect = [&](std::size_t a, std::size_t b) {
+    const auto na = static_cast<NodeId>(a);
+    const auto nb = static_cast<NodeId>(b);
+    if (network.has_link(na, nb)) return;
+    const double dist = distance_m(network.node(na), network.node(nb));
+    const double base_bw = rng.uniform(config.base_bw_min, config.base_bw_max);
+    network.add_link(na, nb, base_bw, channel_gain(config, dist));
+    components.unite(a, b);
+  };
+
+  // k-nearest-neighbour edges.
+  for (std::size_t a = 0; a < n; ++a) {
+    std::vector<std::pair<double, std::size_t>> by_distance;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (b == a) continue;
+      by_distance.emplace_back(
+          distance_m(network.node(static_cast<NodeId>(a)),
+                     network.node(static_cast<NodeId>(b))),
+          b);
+    }
+    std::sort(by_distance.begin(), by_distance.end());
+    const auto k = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(config.k_nearest, 1)),
+        by_distance.size());
+    for (std::size_t j = 0; j < k; ++j) connect(a, by_distance[j].second);
+  }
+
+  // Bridge remaining components through their closest node pair.
+  for (;;) {
+    double best_dist = std::numeric_limits<double>::infinity();
+    std::size_t best_a = 0, best_b = 0;
+    bool found = false;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (components.find(a) == components.find(b)) continue;
+        const double dist = distance_m(network.node(static_cast<NodeId>(a)),
+                                       network.node(static_cast<NodeId>(b)));
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_a = a;
+          best_b = b;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    connect(best_a, best_b);
+  }
+
+  return network;
+}
+
+EdgeNetwork make_topology(int num_nodes, std::uint64_t seed) {
+  TopologyConfig config;
+  config.num_nodes = num_nodes;
+  return make_topology(config, seed);
+}
+
+}  // namespace socl::net

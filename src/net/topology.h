@@ -1,0 +1,54 @@
+// Random geometric edge-network generator reproducing the paper's setup
+// (Section V-A): base stations placed near the National Stadium, Beijing,
+// edge servers with [5, 20] GFLOPs compute, [4, 8] storage units, and link
+// bandwidths landing in [20, 80] GB/s via the Shannon model with a
+// log-distance path-loss channel gain.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.h"
+#include "util/rng.h"
+
+namespace socl::net {
+
+/// Parameters for the geometric generator. Defaults mirror the paper.
+struct TopologyConfig {
+  int num_nodes = 10;
+  /// Deployment disk radius in metres around the anchor site.
+  double radius_m = 1500.0;
+  /// Minimum pairwise node separation (base stations do not co-locate).
+  double min_separation_m = 120.0;
+  /// Each node connects to its k nearest neighbours; connectivity is then
+  /// enforced by bridging components through their closest node pair.
+  int k_nearest = 3;
+
+  double compute_min_gflops = 5.0;
+  double compute_max_gflops = 20.0;
+  double storage_min_units = 4.0;
+  double storage_max_units = 8.0;
+
+  /// Shannon channel model constants, calibrated so neighbour links land in
+  /// roughly [20, 80] GB/s: B ∈ [base_bw_min, base_bw_max],
+  /// g = gain_ref · (ref_distance / d)^path_loss_exponent, γ = 1 W, N = 1 nW.
+  double base_bw_min = 8.0;
+  double base_bw_max = 16.0;
+  double gain_ref = 1e-7;
+  double ref_distance_m = 100.0;
+  double path_loss_exponent = 2.0;
+  double noise_w = 1e-9;
+};
+
+/// National Stadium ("Bird's Nest"), Beijing — the paper's deployment anchor.
+/// Kept for documentation/CSV metadata; the model itself works in local
+/// tangent-plane metres.
+inline constexpr double kAnchorLatitude = 39.9930;
+inline constexpr double kAnchorLongitude = 116.3964;
+
+/// Generates a connected random geometric topology. Deterministic in `seed`.
+EdgeNetwork make_topology(const TopologyConfig& config, std::uint64_t seed);
+
+/// Convenience wrapper: default config with `num_nodes` nodes.
+EdgeNetwork make_topology(int num_nodes, std::uint64_t seed);
+
+}  // namespace socl::net

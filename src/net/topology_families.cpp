@@ -1,0 +1,179 @@
+#include "net/topology_families.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace socl::net {
+namespace {
+
+/// Shared attribute sampling identical to the geometric generator.
+EdgeNode sample_node(const TopologyConfig& config, util::Rng& rng, double x,
+                     double y) {
+  EdgeNode node;
+  node.x_m = x;
+  node.y_m = y;
+  node.compute_gflops =
+      rng.uniform(config.compute_min_gflops, config.compute_max_gflops);
+  node.storage_units =
+      rng.uniform(config.storage_min_units, config.storage_max_units);
+  node.tx_power_w = 1.0;
+  return node;
+}
+
+double gain_for(const TopologyConfig& config, const EdgeNode& a,
+                const EdgeNode& b) {
+  const double dist = std::max(std::hypot(a.x_m - b.x_m, a.y_m - b.y_m),
+                               config.ref_distance_m);
+  return config.gain_ref *
+         std::pow(config.ref_distance_m / dist, config.path_loss_exponent);
+}
+
+void connect(EdgeNetwork& network, const TopologyConfig& config,
+             util::Rng& rng, NodeId a, NodeId b) {
+  if (a == b || network.has_link(a, b)) return;
+  const double base_bw = rng.uniform(config.base_bw_min, config.base_bw_max);
+  network.add_link(a, b, base_bw,
+                   gain_for(config, network.node(a), network.node(b)));
+}
+
+}  // namespace
+
+const char* to_string(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::kGeometric:
+      return "geometric";
+    case TopologyFamily::kRing:
+      return "ring";
+    case TopologyFamily::kGrid:
+      return "grid";
+    case TopologyFamily::kScaleFree:
+      return "scale-free";
+  }
+  return "?";
+}
+
+EdgeNetwork make_ring_topology(const TopologyConfig& config,
+                               std::uint64_t seed, int chord_every) {
+  if (config.num_nodes <= 0) {
+    throw std::invalid_argument("make_ring_topology: num_nodes <= 0");
+  }
+  util::Rng rng(seed);
+  EdgeNetwork network(config.noise_w);
+  const int n = config.num_nodes;
+  for (int i = 0; i < n; ++i) {
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(i) / n;
+    network.add_node(sample_node(config, rng,
+                                 config.radius_m * std::cos(angle),
+                                 config.radius_m * std::sin(angle)));
+  }
+  if (n == 1) return network;
+  for (int i = 0; i < n; ++i) {
+    connect(network, config, rng, i, (i + 1) % n);
+  }
+  if (chord_every > 0 && n > 4) {
+    for (int i = 0; i < n; i += chord_every) {
+      connect(network, config, rng, i, (i + n / 2) % n);
+    }
+  }
+  return network;
+}
+
+EdgeNetwork make_grid_topology(const TopologyConfig& config,
+                               std::uint64_t seed) {
+  if (config.num_nodes <= 0) {
+    throw std::invalid_argument("make_grid_topology: num_nodes <= 0");
+  }
+  util::Rng rng(seed);
+  EdgeNetwork network(config.noise_w);
+  const int n = config.num_nodes;
+  const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(n))));
+  const double spacing =
+      2.0 * config.radius_m / static_cast<double>(std::max(cols, 2));
+  for (int i = 0; i < n; ++i) {
+    const int row = i / cols;
+    const int col = i % cols;
+    network.add_node(sample_node(
+        config, rng, (col - cols / 2.0) * spacing,
+        (row - cols / 2.0) * spacing));
+  }
+  for (int i = 0; i < n; ++i) {
+    const int row = i / cols;
+    const int col = i % cols;
+    if (col + 1 < cols && i + 1 < n) connect(network, config, rng, i, i + 1);
+    if ((row + 1) * cols + col < n) {
+      connect(network, config, rng, i, i + cols);
+    }
+  }
+  return network;
+}
+
+EdgeNetwork make_scale_free_topology(const TopologyConfig& config,
+                                     std::uint64_t seed,
+                                     int edges_per_node) {
+  if (config.num_nodes <= 0) {
+    throw std::invalid_argument("make_scale_free_topology: num_nodes <= 0");
+  }
+  if (edges_per_node < 1) {
+    throw std::invalid_argument("make_scale_free_topology: m < 1");
+  }
+  util::Rng rng(seed);
+  EdgeNetwork network(config.noise_w);
+  const int n = config.num_nodes;
+  for (int i = 0; i < n; ++i) {
+    const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double radius = config.radius_m * std::sqrt(rng.uniform());
+    network.add_node(sample_node(config, rng, radius * std::cos(angle),
+                                 radius * std::sin(angle)));
+  }
+  if (n == 1) return network;
+
+  // Preferential attachment over a degree-weighted endpoint pool.
+  std::vector<NodeId> endpoint_pool;
+  connect(network, config, rng, 0, 1);
+  endpoint_pool.push_back(0);
+  endpoint_pool.push_back(1);
+  for (NodeId v = 2; v < n; ++v) {
+    const int edges = std::min<int>(edges_per_node, v);
+    int attached = 0;
+    int guard = 64;
+    while (attached < edges && guard-- > 0) {
+      const NodeId target = endpoint_pool[rng.index(endpoint_pool.size())];
+      if (target == v || network.has_link(v, target)) continue;
+      connect(network, config, rng, v, target);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(target);
+      ++attached;
+    }
+    if (attached == 0) {
+      // Degenerate pool: attach to the previous node deterministically.
+      connect(network, config, rng, v, v - 1);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(v - 1);
+    }
+  }
+  return network;
+}
+
+EdgeNetwork make_family_topology(TopologyFamily family,
+                                 const TopologyConfig& config,
+                                 std::uint64_t seed) {
+  switch (family) {
+    case TopologyFamily::kGeometric:
+      return make_topology(config, seed);
+    case TopologyFamily::kRing:
+      return make_ring_topology(config, seed);
+    case TopologyFamily::kGrid:
+      return make_grid_topology(config, seed);
+    case TopologyFamily::kScaleFree:
+      return make_scale_free_topology(config, seed);
+  }
+  throw std::invalid_argument("make_family_topology: bad family");
+}
+
+}  // namespace socl::net

@@ -1,0 +1,44 @@
+// Alternative substrate topology families for robustness studies beyond the
+// paper's geometric deployment: ring (metro fiber loops), grid (planned
+// urban cells), and scale-free (Barabási–Albert, hub-dominated backhaul).
+// All reuse the geometric generator's node-attribute and Shannon-link
+// calibration so results are comparable across families.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.h"
+
+namespace socl::net {
+
+enum class TopologyFamily {
+  kGeometric,  // the paper's deployment (make_topology)
+  kRing,
+  kGrid,
+  kScaleFree,
+};
+
+const char* to_string(TopologyFamily family);
+
+/// Ring of `num_nodes` stations with `chord_every` shortcut chords
+/// (0 = pure ring). Node attributes and link rates follow `config`.
+EdgeNetwork make_ring_topology(const TopologyConfig& config,
+                               std::uint64_t seed, int chord_every = 4);
+
+/// Near-square grid with 4-neighbour connectivity; the last row may be
+/// partial. Spacing derives from config.radius_m.
+EdgeNetwork make_grid_topology(const TopologyConfig& config,
+                               std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment with `edges_per_node` links per
+/// arriving node (>= 1). Produces hub-dominated degree distributions.
+EdgeNetwork make_scale_free_topology(const TopologyConfig& config,
+                                     std::uint64_t seed,
+                                     int edges_per_node = 2);
+
+/// Family dispatcher used by robustness benches.
+EdgeNetwork make_family_topology(TopologyFamily family,
+                                 const TopologyConfig& config,
+                                 std::uint64_t seed);
+
+}  // namespace socl::net

@@ -1,0 +1,45 @@
+#include "net/virtual_link.h"
+
+#include <stdexcept>
+
+namespace socl::net {
+
+VirtualLinks::VirtualLinks(const EdgeNetwork& network,
+                           const ShortestPaths& paths)
+    : n_(network.num_nodes()) {
+  rates_.assign(n_ * n_, 0.0);
+  intensity_.assign(n_, 0.0);
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = 0; b < n_; ++b) {
+      const auto ka = static_cast<NodeId>(a);
+      const auto kb = static_cast<NodeId>(b);
+      double rate;
+      if (a == b) {
+        rate = std::numeric_limits<double>::infinity();
+      } else {
+        const double inv = paths.inverse_rate_sum(ka, kb);
+        rate = inv == std::numeric_limits<double>::infinity() ? 0.0
+                                                              : 1.0 / inv;
+      }
+      rates_[a * n_ + b] = rate;
+      if (a != b && rate > 0.0) intensity_[a] += rate;
+    }
+  }
+}
+
+double VirtualLinks::transfer_time(double data, NodeId k, NodeId q) const {
+  if (k == q) return 0.0;
+  const double r = rate(k, q);
+  if (r <= 0.0) return std::numeric_limits<double>::infinity();
+  return data / r;
+}
+
+std::size_t VirtualLinks::idx(NodeId a, NodeId b) const {
+  if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= n_ ||
+      static_cast<std::size_t>(b) >= n_) {
+    throw std::out_of_range("VirtualLinks: bad node id");
+  }
+  return static_cast<std::size_t>(a) * n_ + static_cast<std::size_t>(b);
+}
+
+}  // namespace socl::net

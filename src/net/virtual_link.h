@@ -1,0 +1,45 @@
+// Virtual links (Section IV-A): when two nodes are not directly connected,
+// the paper models their relationship with a virtual link l'_{k,q} whose
+// channel speed is the harmonic mean of the direct-link rates along the
+// min-hop path:  B(l'_{k,q}) = 1 / Σ_{l ∈ π*(k,q)} 1/b(l).
+//
+// Also provides the per-node communication intensity
+// χ_{v_k} = Σ_{q != k} B(l'_{k,q}) used to order candidate-node validation.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "net/shortest_path.h"
+
+namespace socl::net {
+
+/// Dense table of virtual-link channel speeds and derived quantities.
+class VirtualLinks {
+ public:
+  explicit VirtualLinks(const EdgeNetwork& network,
+                        const ShortestPaths& paths);
+
+  /// Harmonic-mean channel speed B(l'_{k,q}) in GB/s.
+  /// +inf when k == q (local, no transfer); 0 when unreachable.
+  double rate(NodeId k, NodeId q) const { return rates_[idx(k, q)]; }
+
+  /// Transfer time of `data` units from k to q: data / rate; 0 when k == q.
+  double transfer_time(double data, NodeId k, NodeId q) const;
+
+  /// Communication intensity χ_{v_k} = Σ_{q != k} B(l'_{k,q}).
+  double intensity(NodeId k) const {
+    return intensity_[static_cast<std::size_t>(k)];
+  }
+
+  std::size_t num_nodes() const { return n_; }
+
+ private:
+  std::size_t idx(NodeId a, NodeId b) const;
+
+  std::size_t n_;
+  std::vector<double> rates_;
+  std::vector<double> intensity_;
+};
+
+}  // namespace socl::net

@@ -1,0 +1,56 @@
+#include "sim/slot_sim.h"
+
+#include "workload/request_gen.h"
+
+namespace socl::sim {
+
+std::vector<SlotMetrics> run_slotted(
+    const core::ScenarioConfig& base_config, std::uint64_t scenario_seed,
+    const baselines::ProvisioningAlgorithm& algorithm,
+    const SlotSimConfig& sim_config) {
+  core::Scenario scenario = core::make_scenario(base_config, scenario_seed);
+
+  // The mobility stream is independent of the algorithm under test.
+  util::Rng rng(sim_config.seed);
+  util::Rng weight_rng(sim_config.seed ^ 0xabcdULL);
+  const auto weights = workload::attachment_weights(
+      scenario.network().num_nodes(), base_config.requests, weight_rng);
+
+  std::vector<SlotMetrics> series;
+  series.reserve(static_cast<std::size_t>(sim_config.slots));
+  for (int slot = 0; slot < sim_config.slots; ++slot) {
+    auto requests = scenario.requests();
+    workload::mobility_step(scenario.network(), requests, weights,
+                            sim_config.mobility, rng);
+    if (sim_config.regenerate_chains) {
+      // Fresh chains with the same population size; attach nodes are kept
+      // from the mobility stream.
+      workload::RequestGenConfig gen = base_config.requests;
+      gen.num_users = base_config.num_users;
+      auto fresh = workload::generate_requests(
+          scenario.network(), scenario.catalog(), gen,
+          sim_config.seed + static_cast<std::uint64_t>(slot) * 1000003ULL);
+      for (std::size_t i = 0; i < requests.size() && i < fresh.size(); ++i) {
+        fresh[i].attach_node = requests[i].attach_node;
+        fresh[i].id = requests[i].id;
+      }
+      requests = std::move(fresh);
+    }
+    scenario.set_requests(std::move(requests));
+
+    const core::Solution solution = algorithm.solve(scenario);
+    SlotMetrics metrics;
+    metrics.slot = slot;
+    metrics.objective = solution.evaluation.objective;
+    metrics.deployment_cost = solution.evaluation.deployment_cost;
+    metrics.total_latency = solution.evaluation.total_latency;
+    metrics.mean_latency = solution.evaluation.mean_latency;
+    metrics.max_latency = solution.evaluation.max_latency;
+    metrics.deadline_violations = solution.evaluation.deadline_violations;
+    metrics.solve_seconds = solution.runtime_seconds;
+    series.push_back(metrics);
+  }
+  return series;
+}
+
+}  // namespace socl::sim

@@ -1,0 +1,44 @@
+// Time-slotted online simulation (Section I: SoCL "processes decisions in a
+// time-slotted manner, adapting to the observed system state and current
+// user demand at each slot"). Each slot: users move (mobility model),
+// optionally refresh their request chains (stochastic service dependencies),
+// the algorithm makes a one-shot decision, and the shared evaluator scores
+// it. Drives the Fig. 10 trace experiment and the online examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/algorithm.h"
+#include "workload/mobility.h"
+
+namespace socl::sim {
+
+struct SlotSimConfig {
+  int slots = 48;  // e.g. 4 hours at 5-minute slots
+  workload::MobilityConfig mobility;
+  /// Regenerate chains each slot (stochastic service dependencies).
+  bool regenerate_chains = false;
+  std::uint64_t seed = 11;
+};
+
+struct SlotMetrics {
+  int slot = 0;
+  double objective = 0.0;
+  double deployment_cost = 0.0;
+  double total_latency = 0.0;
+  double mean_latency = 0.0;
+  double max_latency = 0.0;
+  int deadline_violations = 0;
+  double solve_seconds = 0.0;
+};
+
+/// Runs one algorithm over a mobility trace; the same seed reproduces the
+/// same trace across algorithms, so series are directly comparable.
+std::vector<SlotMetrics> run_slotted(const core::ScenarioConfig& base_config,
+                                     std::uint64_t scenario_seed,
+                                     const baselines::ProvisioningAlgorithm&
+                                         algorithm,
+                                     const SlotSimConfig& sim_config);
+
+}  // namespace socl::sim

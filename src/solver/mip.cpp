@@ -1,0 +1,238 @@
+#include "solver/mip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "solver/presolve.h"
+#include "util/timer.h"
+
+namespace socl::solver {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Node {
+  // Bound overrides relative to the root model: (var, lower, upper).
+  std::vector<std::tuple<int, double, double>> bounds;
+  double parent_bound = -kInf;
+  int depth = 0;
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    // Best-bound first; deeper first among equals (dive toward incumbents).
+    if (a->parent_bound != b->parent_bound) {
+      return a->parent_bound > b->parent_bound;
+    }
+    return a->depth < b->depth;
+  }
+};
+
+/// Most-fractional branching variable, or -1 when integral.
+int fractional_variable(const Model& model, const std::vector<double>& x,
+                        double tol) {
+  int best = -1;
+  double best_score = tol;
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(static_cast<int>(j)).is_integer) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double score = std::min(frac, 1.0 - frac);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+/// Rounds the LP solution and accepts it if feasible (cheap incumbent probe).
+bool try_rounding(const Model& model, std::vector<double> x, double int_tol,
+                  std::vector<double>& incumbent, double& incumbent_obj) {
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    if (model.variable(static_cast<int>(j)).is_integer) {
+      x[j] = std::round(x[j]);
+    }
+  }
+  if (!model.feasible(x, 1e-6)) return false;
+  const double obj = model.objective_value(x);
+  (void)int_tol;
+  if (obj < incumbent_obj) {
+    incumbent = std::move(x);
+    incumbent_obj = obj;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double MipResult::gap() const {
+  if (!has_solution()) return kInf;
+  const double denom = std::max(std::abs(objective), 1.0);
+  return std::max(0.0, (objective - bound) / denom);
+}
+
+MipResult solve_mip(const Model& root_model, const MipOptions& options) {
+  util::WallTimer timer;
+  MipResult result;
+  result.bound = -kInf;
+
+  // Root presolve: same variable set, tightened bounds, fewer rows. All
+  // reductions preserve the feasible set, so incumbents and solutions are
+  // valid for the original model unchanged.
+  if (options.use_presolve) {
+    PresolveResult reduced = presolve(root_model);
+    if (reduced.infeasible) {
+      result.status = SolveStatus::kInfeasible;
+      result.wall_seconds = timer.elapsed_seconds();
+      return result;
+    }
+    if (reduced.rows_removed > 0 || reduced.bounds_tightened > 0) {
+      MipOptions inner = options;
+      inner.use_presolve = false;
+      inner.time_limit_s =
+          std::max(0.0, options.time_limit_s - timer.elapsed_seconds());
+      MipResult solved = solve_mip(reduced.model, inner);
+      solved.wall_seconds = timer.elapsed_seconds();
+      return solved;
+    }
+  }
+
+  double incumbent_obj = kInf;
+  std::vector<double> incumbent;
+  if (!options.initial_solution.empty() &&
+      root_model.feasible(options.initial_solution, 1e-6)) {
+    incumbent = options.initial_solution;
+    incumbent_obj = root_model.objective_value(incumbent);
+  }
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      open;
+  open.push(std::make_shared<Node>());
+
+  // Working model whose bounds are patched per node and restored afterwards.
+  Model model = root_model;
+
+  double best_open_bound = -kInf;
+  bool exhausted = true;
+
+  while (!open.empty()) {
+    if (timer.elapsed_seconds() > options.time_limit_s ||
+        result.nodes_explored >= options.max_nodes) {
+      exhausted = false;
+      break;
+    }
+    auto node = open.top();
+    open.pop();
+    best_open_bound = node->parent_bound;
+    if (incumbent_obj < kInf && node->parent_bound >= incumbent_obj - 1e-9) {
+      continue;  // cannot improve on the incumbent
+    }
+    ++result.nodes_explored;
+
+    // Apply node bounds.
+    std::vector<std::tuple<int, double, double>> saved;
+    saved.reserve(node->bounds.size());
+    for (const auto& [var, lo, hi] : node->bounds) {
+      saved.emplace_back(var, model.variable(var).lower,
+                         model.variable(var).upper);
+      model.variable(var).lower = lo;
+      model.variable(var).upper = hi;
+    }
+    const LpResult lp = solve_lp(model, options.lp);
+    result.lp_iterations += lp.iterations;
+
+    if (lp.status == SolveStatus::kOptimal) {
+      if (incumbent_obj == kInf || lp.objective < incumbent_obj - 1e-9) {
+        const int branch_var =
+            fractional_variable(model, lp.x, options.int_tol);
+        if (branch_var < 0) {
+          // Integral: new incumbent.
+          if (lp.objective < incumbent_obj) {
+            incumbent = lp.x;
+            incumbent_obj = lp.objective;
+          }
+        } else {
+          try_rounding(model, lp.x, options.int_tol, incumbent,
+                       incumbent_obj);
+          const double value = lp.x[static_cast<std::size_t>(branch_var)];
+          auto down = std::make_shared<Node>();
+          auto up = std::make_shared<Node>();
+          down->bounds = node->bounds;
+          up->bounds = node->bounds;
+          down->bounds.emplace_back(branch_var,
+                                    model.variable(branch_var).lower,
+                                    std::floor(value));
+          up->bounds.emplace_back(branch_var, std::ceil(value),
+                                  model.variable(branch_var).upper);
+          down->parent_bound = up->parent_bound = lp.objective;
+          down->depth = up->depth = node->depth + 1;
+          open.push(std::move(down));
+          open.push(std::move(up));
+        }
+      }
+    } else if (lp.status == SolveStatus::kUnbounded) {
+      // Relaxation unbounded at the root means the MIP is unbounded or
+      // infeasible; report and stop.
+      for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+        const auto& [var, lo, hi] = *it;
+        model.variable(var).lower = lo;
+        model.variable(var).upper = hi;
+      }
+      result.status = SolveStatus::kUnbounded;
+      result.wall_seconds = timer.elapsed_seconds();
+      return result;
+    }
+    // kInfeasible / kIterLimit: prune this node.
+
+    // Restore bounds in reverse so repeated overrides of one variable unwind
+    // to the root values.
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      const auto& [var, lo, hi] = *it;
+      model.variable(var).lower = lo;
+      model.variable(var).upper = hi;
+    }
+
+    // Early stop on gap.
+    if (incumbent_obj < kInf && !open.empty()) {
+      const double lowest_open = open.top()->parent_bound;
+      const double denom = std::max(std::abs(incumbent_obj), 1.0);
+      if ((incumbent_obj - lowest_open) / denom < options.gap_tol) {
+        best_open_bound = lowest_open;
+        exhausted = true;
+        break;
+      }
+    }
+  }
+
+  result.wall_seconds = timer.elapsed_seconds();
+  result.x = std::move(incumbent);
+  result.objective = incumbent_obj;
+  if (result.has_solution()) {
+    if (exhausted && open.empty()) {
+      result.bound = incumbent_obj;  // proven optimal
+      result.status = SolveStatus::kOptimal;
+    } else if (exhausted) {
+      // Gap-tolerance stop: bound is the best open node.
+      result.bound = std::min(best_open_bound, incumbent_obj);
+      result.status = SolveStatus::kOptimal;
+    } else {
+      result.bound =
+          open.empty() ? incumbent_obj
+                       : std::min(open.top()->parent_bound, incumbent_obj);
+      result.status = SolveStatus::kTimeLimit;
+    }
+  } else {
+    result.objective = 0.0;
+    result.status = exhausted && open.empty() ? SolveStatus::kInfeasible
+                                              : SolveStatus::kNoSolution;
+  }
+  return result;
+}
+
+}  // namespace socl::solver

@@ -1,0 +1,50 @@
+// Branch-and-bound mixed-integer solver over the simplex LP relaxation.
+//
+// This is the library's "optimizer" (the paper's Gurobi role): it returns
+// certified optima on small instances, and on larger ones a best incumbent
+// plus a dual bound and gap under a wall-clock limit — exactly the behaviour
+// the Fig. 2 / Fig. 7 runtime comparisons need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "solver/simplex.h"
+
+namespace socl::solver {
+
+struct MipOptions {
+  SimplexOptions lp;
+  double time_limit_s = 120.0;
+  std::size_t max_nodes = 2'000'000;
+  /// Absolute integrality tolerance.
+  double int_tol = 1e-6;
+  /// Stop when (incumbent - bound) / max(|incumbent|, 1) falls below this.
+  double gap_tol = 1e-6;
+  /// Optional warm-start incumbent (checked for feasibility before use).
+  std::vector<double> initial_solution;
+  /// Run the feasibility-preserving root presolve (presolve.h) before the
+  /// search. The reduced model shares the variable set, so solutions map
+  /// one-to-one.
+  bool use_presolve = true;
+};
+
+struct MipResult {
+  SolveStatus status = SolveStatus::kNoSolution;
+  /// Best integer-feasible solution found (empty if none).
+  std::vector<double> x;
+  double objective = 0.0;
+  /// Best lower (dual) bound on the optimum.
+  double bound = 0.0;
+  std::size_t nodes_explored = 0;
+  std::size_t lp_iterations = 0;
+  double wall_seconds = 0.0;
+
+  bool has_solution() const { return !x.empty(); }
+  /// Relative optimality gap; 0 for proven optima.
+  double gap() const;
+};
+
+MipResult solve_mip(const Model& model, const MipOptions& options = {});
+
+}  // namespace socl::solver

@@ -1,0 +1,89 @@
+#include "solver/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace socl::solver {
+
+int Model::add_variable(double lower, double upper, double objective,
+                        bool is_integer, std::string name) {
+  if (!(lower <= upper)) {
+    throw std::invalid_argument("Model::add_variable: lower > upper");
+  }
+  variables_.push_back({lower, upper, objective, is_integer, std::move(name)});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int Model::add_binary(double objective, std::string name) {
+  return add_variable(0.0, 1.0, objective, /*is_integer=*/true,
+                      std::move(name));
+}
+
+int Model::add_constraint(std::vector<std::pair<int, double>> terms,
+                          Sense sense, double rhs, std::string name) {
+  std::unordered_map<int, double> coalesced;
+  for (const auto& [var, coeff] : terms) {
+    if (var < 0 || static_cast<std::size_t>(var) >= variables_.size()) {
+      throw std::out_of_range("Model::add_constraint: bad variable index");
+    }
+    coalesced[var] += coeff;
+  }
+  Constraint constraint;
+  constraint.terms.assign(coalesced.begin(), coalesced.end());
+  std::sort(constraint.terms.begin(), constraint.terms.end());
+  constraint.sense = sense;
+  constraint.rhs = rhs;
+  constraint.name = std::move(name);
+  constraints_.push_back(std::move(constraint));
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double total = 0.0;
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    total += variables_[j].objective * x.at(j);
+  }
+  return total;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    worst = std::max(worst, variables_[j].lower - x.at(j));
+    worst = std::max(worst, x.at(j) - variables_[j].upper);
+  }
+  for (const auto& constraint : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : constraint.terms) {
+      lhs += coeff * x.at(static_cast<std::size_t>(var));
+    }
+    switch (constraint.sense) {
+      case Sense::kLe:
+        worst = std::max(worst, lhs - constraint.rhs);
+        break;
+      case Sense::kGe:
+        worst = std::max(worst, constraint.rhs - lhs);
+        break;
+      case Sense::kEq:
+        worst = std::max(worst, std::abs(lhs - constraint.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+bool Model::feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != variables_.size()) return false;
+  if (max_violation(x) > tol) return false;
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    if (variables_[j].is_integer &&
+        std::abs(x[j] - std::round(x[j])) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace socl::solver

@@ -1,0 +1,74 @@
+// Linear/integer optimization model container shared by the LP and MIP
+// solvers. This is the library's stand-in for a commercial optimizer API
+// (the paper uses Gurobi): callers build a model with bounded, optionally
+// integral variables and sparse linear constraints, then hand it to
+// solve_lp / solve_mip.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace socl::solver {
+
+enum class Sense { kLe, kGe, kEq };
+
+/// One sparse linear constraint: Σ coeff·var  sense  rhs.
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+struct Variable {
+  double lower = 0.0;
+  double upper = 1.0;
+  double objective = 0.0;
+  bool is_integer = false;
+  std::string name;
+};
+
+/// Minimization model. Variable and constraint ids are dense indices.
+class Model {
+ public:
+  /// Adds a variable; returns its index.
+  int add_variable(double lower, double upper, double objective,
+                   bool is_integer, std::string name = "");
+  /// Shorthand for a binary decision variable.
+  int add_binary(double objective, std::string name = "");
+
+  /// Adds a constraint; duplicate variable terms are coalesced.
+  int add_constraint(std::vector<std::pair<int, double>> terms, Sense sense,
+                     double rhs, std::string name = "");
+
+  std::size_t num_variables() const { return variables_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+  const Variable& variable(int j) const {
+    return variables_.at(static_cast<std::size_t>(j));
+  }
+  Variable& variable(int j) {
+    return variables_.at(static_cast<std::size_t>(j));
+  }
+  const Constraint& constraint(int i) const {
+    return constraints_.at(static_cast<std::size_t>(i));
+  }
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Objective value of a full assignment (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Max constraint violation of an assignment (0 when feasible).
+  double max_violation(const std::vector<double>& x) const;
+
+  /// True when the assignment satisfies all constraints, bounds, and
+  /// integrality within `tol`.
+  bool feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace socl::solver

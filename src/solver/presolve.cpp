@@ -1,0 +1,177 @@
+#include "solver/presolve.h"
+
+#include <cmath>
+#include <limits>
+
+namespace socl::solver {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTol = 1e-9;
+
+/// Activity range of a row under current variable bounds.
+void activity_range(const Model& model, const Constraint& row, double* lo,
+                    double* hi) {
+  *lo = 0.0;
+  *hi = 0.0;
+  for (const auto& [var, coeff] : row.terms) {
+    const auto& bounds = model.variable(var);
+    if (coeff >= 0.0) {
+      *lo += coeff * bounds.lower;
+      *hi += coeff * bounds.upper;
+    } else {
+      *lo += coeff * bounds.upper;
+      *hi += coeff * bounds.lower;
+    }
+  }
+}
+
+/// Applies a singleton row as a bound; returns false on infeasibility.
+bool apply_singleton(Model& model, const Constraint& row, bool* tightened) {
+  const auto [var, coeff] = row.terms.front();
+  auto& bounds = model.variable(var);
+  auto tighten_upper = [&](double value) {
+    if (value < bounds.upper - kTol) {
+      bounds.upper = value;
+      *tightened = true;
+    }
+  };
+  auto tighten_lower = [&](double value) {
+    if (value > bounds.lower + kTol) {
+      bounds.lower = value;
+      *tightened = true;
+    }
+  };
+  const double bound = row.rhs / coeff;
+  switch (row.sense) {
+    case Sense::kLe:
+      if (coeff > 0.0) {
+        tighten_upper(bound);
+      } else {
+        tighten_lower(bound);
+      }
+      break;
+    case Sense::kGe:
+      if (coeff > 0.0) {
+        tighten_lower(bound);
+      } else {
+        tighten_upper(bound);
+      }
+      break;
+    case Sense::kEq:
+      tighten_lower(bound);
+      tighten_upper(bound);
+      break;
+  }
+  return bounds.lower <= bounds.upper + kTol;
+}
+
+}  // namespace
+
+PresolveResult presolve(const Model& original, int max_passes) {
+  PresolveResult result;
+  // Start from a variables-only copy; rows are re-added as they survive.
+  Model work;
+  for (std::size_t j = 0; j < original.num_variables(); ++j) {
+    const auto& var = original.variable(static_cast<int>(j));
+    work.add_variable(var.lower, var.upper, var.objective, var.is_integer,
+                      var.name);
+  }
+  std::vector<Constraint> rows(original.constraints());
+
+  bool changed = true;
+  while (changed && result.passes < max_passes) {
+    ++result.passes;
+    changed = false;
+
+    // Integer bound rounding + crossing detection.
+    for (std::size_t j = 0; j < work.num_variables(); ++j) {
+      auto& var = work.variable(static_cast<int>(j));
+      if (var.is_integer) {
+        const double lo = std::ceil(var.lower - kTol);
+        const double hi = std::floor(var.upper + kTol);
+        if (lo > var.lower + kTol || hi < var.upper - kTol) {
+          var.lower = lo;
+          var.upper = hi;
+          ++result.bounds_tightened;
+          changed = true;
+        }
+      }
+      if (var.lower > var.upper + kTol) {
+        result.infeasible = true;
+        result.model = std::move(work);
+        return result;
+      }
+    }
+
+    std::vector<Constraint> kept;
+    kept.reserve(rows.size());
+    for (const auto& row : rows) {
+      if (row.terms.empty()) {
+        // Constant row: satisfied or plainly infeasible.
+        const bool ok = row.sense == Sense::kLe   ? 0.0 <= row.rhs + kTol
+                        : row.sense == Sense::kGe ? 0.0 >= row.rhs - kTol
+                                                  : std::abs(row.rhs) <= kTol;
+        if (!ok) {
+          result.infeasible = true;
+          result.model = std::move(work);
+          return result;
+        }
+        ++result.rows_removed;
+        changed = true;
+        continue;
+      }
+      if (row.terms.size() == 1) {
+        bool tightened = false;
+        if (!apply_singleton(work, row, &tightened)) {
+          result.infeasible = true;
+          result.model = std::move(work);
+          return result;
+        }
+        if (tightened) ++result.bounds_tightened;
+        ++result.rows_removed;
+        changed = true;
+        continue;
+      }
+      double lo, hi;
+      activity_range(work, row, &lo, &hi);
+      bool redundant = false;
+      bool impossible = false;
+      switch (row.sense) {
+        case Sense::kLe:
+          redundant = hi <= row.rhs + kTol;
+          impossible = lo > row.rhs + kTol;
+          break;
+        case Sense::kGe:
+          redundant = lo >= row.rhs - kTol;
+          impossible = hi < row.rhs - kTol;
+          break;
+        case Sense::kEq:
+          redundant = std::abs(hi - row.rhs) <= kTol &&
+                      std::abs(lo - row.rhs) <= kTol;
+          impossible = lo > row.rhs + kTol || hi < row.rhs - kTol;
+          break;
+      }
+      if (impossible) {
+        result.infeasible = true;
+        result.model = std::move(work);
+        return result;
+      }
+      if (redundant) {
+        ++result.rows_removed;
+        changed = true;
+        continue;
+      }
+      kept.push_back(row);
+    }
+    rows = std::move(kept);
+  }
+
+  for (auto& row : rows) {
+    work.add_constraint(row.terms, row.sense, row.rhs, row.name);
+  }
+  result.model = std::move(work);
+  return result;
+}
+
+}  // namespace socl::solver

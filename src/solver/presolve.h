@@ -1,0 +1,30 @@
+// Root presolve for the MIP/LP engine: feasibility-preserving reductions
+// applied before the branch-and-bound search. All rules keep the feasible
+// set identical (never just the optimum), so they are safe for both LP and
+// MIP solves:
+//   - singleton rows become variable bounds and are dropped,
+//   - rows whose bound-implied activity range makes them redundant are
+//     dropped; rows that can never be satisfied prove infeasibility,
+//   - integer variable bounds are rounded inward,
+//   - crossing bounds prove infeasibility.
+#pragma once
+
+#include "solver/model.h"
+
+namespace socl::solver {
+
+struct PresolveResult {
+  /// Reduced model: identical variable set (so solutions map 1:1),
+  /// tightened bounds, fewer rows.
+  Model model;
+  /// Proven infeasible during reduction (model left in partial state).
+  bool infeasible = false;
+  std::size_t rows_removed = 0;
+  std::size_t bounds_tightened = 0;
+  int passes = 0;
+};
+
+/// Runs reduction passes to a fixpoint (bounded by `max_passes`).
+PresolveResult presolve(const Model& model, int max_passes = 5);
+
+}  // namespace socl::solver

@@ -1,0 +1,400 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace socl::solver {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterLimit:
+      return "iteration-limit";
+    case SolveStatus::kTimeLimit:
+      return "time-limit";
+    case SolveStatus::kNoSolution:
+      return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dense tableau with bounded variables. Columns: structural vars (shifted to
+/// zero lower bound), then slacks/surpluses, then artificials.
+class Tableau {
+ public:
+  Tableau(const Model& model, const SimplexOptions& options)
+      : model_(&model), options_(options) {
+    build();
+  }
+
+  LpResult solve() {
+    LpResult result;
+    // Phase I: minimize sum of artificials (cost 1 on artificials).
+    if (num_artificial_ > 0) {
+      std::vector<double> phase1_cost(num_cols_, 0.0);
+      for (std::size_t j = first_artificial_; j < num_cols_; ++j) {
+        phase1_cost[j] = 1.0;
+      }
+      const SolveStatus status = optimize(phase1_cost, result.iterations);
+      if (status == SolveStatus::kIterLimit) {
+        result.status = status;
+        return result;
+      }
+      double infeasibility = 0.0;
+      for (std::size_t i = 0; i < num_rows_; ++i) {
+        if (basis_[i] >= first_artificial_) infeasibility += rhs_[i];
+      }
+      if (infeasibility > 1e-6) {
+        result.status = SolveStatus::kInfeasible;
+        return result;
+      }
+      drive_out_artificials();
+      for (std::size_t j = first_artificial_; j < num_cols_; ++j) {
+        banned_[j] = true;  // artificials may not re-enter in Phase II
+      }
+    }
+
+    // Phase II: true objective over structural columns.
+    std::vector<double> cost(num_cols_, 0.0);
+    for (std::size_t j = 0; j < num_structural_; ++j) {
+      cost[j] = model_->variable(static_cast<int>(j)).objective;
+      if (flipped_[j]) cost[j] = -cost[j];  // complemented variable
+    }
+    const SolveStatus status = optimize(cost, result.iterations);
+    if (status != SolveStatus::kOptimal) {
+      result.status = status;
+      return result;
+    }
+
+    result.x = extract_solution();
+    result.objective = model_->objective_value(result.x);
+    result.status = SolveStatus::kOptimal;
+    return result;
+  }
+
+ private:
+  double& at(std::size_t row, std::size_t col) {
+    return body_[row * num_cols_ + col];
+  }
+  double at(std::size_t row, std::size_t col) const {
+    return body_[row * num_cols_ + col];
+  }
+
+  void build() {
+    const std::size_t n = model_->num_variables();
+    const std::size_t m = model_->num_constraints();
+    num_structural_ = n;
+    num_rows_ = m;
+
+    // Column bounds after shifting structural vars to zero lower bound.
+    width_.assign(n, 0.0);
+    shift_.assign(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto& var = model_->variable(static_cast<int>(j));
+      shift_[j] = var.lower;
+      width_[j] = var.upper - var.lower;  // may be +inf
+    }
+
+    // Row data with shifted rhs.
+    std::vector<double> rhs(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& con = model_->constraint(static_cast<int>(i));
+      double adjusted = con.rhs;
+      for (const auto& [var, coeff] : con.terms) {
+        adjusted -= coeff * shift_[static_cast<std::size_t>(var)];
+      }
+      rhs[i] = adjusted;
+    }
+
+    // Count slacks (one per inequality) and artificials.
+    std::size_t num_slack = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (model_->constraint(static_cast<int>(i)).sense != Sense::kEq) {
+        ++num_slack;
+      }
+    }
+    first_slack_ = n;
+    // Artificials are added lazily below; reserve the worst case (one per
+    // row) and trim num_cols_ afterwards.
+    first_artificial_ = n + num_slack;
+    num_cols_ = first_artificial_ + m;
+    body_.assign(num_rows_ * num_cols_, 0.0);
+    rhs_ = std::move(rhs);
+    basis_.assign(m, SIZE_MAX);
+    flipped_.assign(num_cols_, false);
+    banned_.assign(num_cols_, false);
+    width_.resize(num_cols_, kInf);  // slacks and artificials: [0, inf)
+
+    std::size_t slack_cursor = first_slack_;
+    std::size_t artificial_cursor = first_artificial_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& con = model_->constraint(static_cast<int>(i));
+      for (const auto& [var, coeff] : con.terms) {
+        at(i, static_cast<std::size_t>(var)) = coeff;
+      }
+      double slack_sign = 0.0;
+      std::size_t slack_col = SIZE_MAX;
+      if (con.sense != Sense::kEq) {
+        slack_sign = con.sense == Sense::kLe ? 1.0 : -1.0;
+        slack_col = slack_cursor++;
+        at(i, slack_col) = slack_sign;
+      }
+      // Normalize to nonnegative rhs.
+      if (rhs_[i] < 0.0) {
+        rhs_[i] = -rhs_[i];
+        for (std::size_t j = 0; j < num_cols_; ++j) at(i, j) = -at(i, j);
+        slack_sign = -slack_sign;
+      }
+      if (slack_col != SIZE_MAX && slack_sign > 0.0) {
+        basis_[i] = slack_col;  // slack serves as the initial basic variable
+      } else {
+        const std::size_t art = artificial_cursor++;
+        at(i, art) = 1.0;
+        basis_[i] = art;
+      }
+    }
+    num_artificial_ = artificial_cursor - first_artificial_;
+    // Trim unused artificial columns (they were zero anyway); keep the
+    // allocated stride — cheaper than re-packing the body.
+    num_cols_used_ = artificial_cursor;
+  }
+
+  /// Computes the reduced-cost row for `cost` given the current basis and
+  /// runs primal iterations until optimal/unbounded/limit.
+  SolveStatus optimize(const std::vector<double>& cost,
+                       std::size_t& iteration_counter) {
+    // d_j = c_j - sum_i c_B(i) * A_ij  (A is kept in canonical form).
+    reduced_.assign(num_cols_used_, 0.0);
+    for (std::size_t j = 0; j < num_cols_used_; ++j) reduced_[j] = cost[j];
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j < num_cols_used_; ++j) {
+        reduced_[j] -= cb * at(i, j);
+      }
+    }
+    for (std::size_t i = 0; i < num_rows_; ++i) reduced_[basis_[i]] = 0.0;
+
+    double best_objective = kInf;
+    std::size_t stall = 0;
+    bool use_bland = false;
+
+    for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+      ++iteration_counter;
+      // Entering column.
+      std::size_t entering = SIZE_MAX;
+      if (use_bland) {
+        for (std::size_t j = 0; j < num_cols_used_; ++j) {
+          if (!banned_[j] && reduced_[j] < -options_.opt_tol) {
+            entering = j;
+            break;
+          }
+        }
+      } else {
+        double most_negative = -options_.opt_tol;
+        for (std::size_t j = 0; j < num_cols_used_; ++j) {
+          if (!banned_[j] && reduced_[j] < most_negative) {
+            most_negative = reduced_[j];
+            entering = j;
+          }
+        }
+      }
+      if (entering == SIZE_MAX) return SolveStatus::kOptimal;
+
+      // Bounded ratio test.
+      double theta = width_[entering];  // limit from the entering bound
+      std::size_t pivot_row = SIZE_MAX;
+      bool leaving_at_upper = false;
+      for (std::size_t i = 0; i < num_rows_; ++i) {
+        const double a = at(i, entering);
+        if (a > options_.pivot_tol) {
+          const double limit = rhs_[i] / a;
+          if (limit < theta - 1e-12 ||
+              (limit < theta + 1e-12 && pivot_row != SIZE_MAX &&
+               basis_[i] < basis_[pivot_row])) {
+            theta = limit;
+            pivot_row = i;
+            leaving_at_upper = false;
+          }
+        } else if (a < -options_.pivot_tol) {
+          const double wb = width_[basis_[i]];
+          if (wb == kInf) continue;
+          const double limit = (wb - rhs_[i]) / (-a);
+          if (limit < theta - 1e-12 ||
+              (limit < theta + 1e-12 && pivot_row != SIZE_MAX &&
+               basis_[i] < basis_[pivot_row])) {
+            theta = limit;
+            pivot_row = i;
+            leaving_at_upper = true;
+          }
+        }
+      }
+
+      if (theta == kInf) return SolveStatus::kUnbounded;
+
+      if (pivot_row == SIZE_MAX) {
+        flip_column(entering);  // bound flip, no basis change
+      } else {
+        if (leaving_at_upper) flip_basic(pivot_row);
+        pivot(pivot_row, entering);
+      }
+
+      // Stall detection for Bland switching.
+      const double objective = current_cost_value(cost);
+      if (objective < best_objective - 1e-10) {
+        best_objective = objective;
+        stall = 0;
+        use_bland = false;
+      } else if (++stall > options_.stall_limit) {
+        use_bland = true;
+      }
+    }
+    return SolveStatus::kIterLimit;
+  }
+
+  double current_cost_value(const std::vector<double>& cost) const {
+    double value = 0.0;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      value += cost[basis_[i]] * rhs_[i];
+    }
+    return value;
+  }
+
+  /// Complements nonbasic column j (x_j -> w_j - x_j).
+  void flip_column(std::size_t j) {
+    const double w = width_[j];
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const double a = at(i, j);
+      if (a != 0.0) {
+        rhs_[i] -= a * w;
+        at(i, j) = -a;
+      }
+    }
+    reduced_[j] = -reduced_[j];
+    flipped_[j] = !flipped_[j];
+  }
+
+  /// Complements the basic variable of `row` so it leaves at zero. Its
+  /// canonical column is e_row; flipping negates it and shifts the rhs, then
+  /// the row is negated to restore the +1 basic entry.
+  void flip_basic(std::size_t row) {
+    const std::size_t j = basis_[row];
+    const double w = width_[j];
+    rhs_[row] = w - rhs_[row];
+    for (std::size_t c = 0; c < num_cols_used_; ++c) {
+      if (c != j) at(row, c) = -at(row, c);
+    }
+    flipped_[j] = !flipped_[j];
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double pivot_value = at(row, col);
+    const double inv = 1.0 / pivot_value;
+    for (std::size_t c = 0; c < num_cols_used_; ++c) at(row, c) *= inv;
+    rhs_[row] *= inv;
+    at(row, col) = 1.0;
+
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (i == row) continue;
+      const double factor = at(i, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < num_cols_used_; ++c) {
+        at(i, c) -= factor * at(row, c);
+      }
+      at(i, col) = 0.0;
+      rhs_[i] -= factor * rhs_[row];
+      if (rhs_[i] < 0.0 && rhs_[i] > -1e-10) rhs_[i] = 0.0;
+    }
+    const double dcol = reduced_[col];
+    if (dcol != 0.0) {
+      for (std::size_t c = 0; c < num_cols_used_; ++c) {
+        reduced_[c] -= dcol * at(row, c);
+      }
+    }
+    reduced_[col] = 0.0;
+    basis_[row] = col;
+  }
+
+  /// Pivots basic artificials (value 0 after Phase I) onto structural or
+  /// slack columns; redundant rows keep a zero-fixed artificial.
+  void drive_out_artificials() {
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      std::size_t col = SIZE_MAX;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (std::abs(at(i, j)) > options_.pivot_tol) {
+          col = j;
+          break;
+        }
+      }
+      if (col != SIZE_MAX) {
+        reduced_[col] = 0.0;  // value irrelevant; recomputed in Phase II
+        pivot(i, col);
+      } else {
+        width_[basis_[i]] = 0.0;  // redundant row: lock artificial at 0
+      }
+    }
+  }
+
+  std::vector<double> extract_solution() const {
+    std::vector<double> values(num_cols_used_, 0.0);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      values[basis_[i]] = rhs_[i];
+    }
+    std::vector<double> x(num_structural_, 0.0);
+    for (std::size_t j = 0; j < num_structural_; ++j) {
+      double t = values[j];
+      if (flipped_[j]) t = width_[j] - t;
+      x[j] = shift_[j] + t;
+      // Snap to bounds against accumulated round-off.
+      const auto& var = model_->variable(static_cast<int>(j));
+      x[j] = std::clamp(x[j], var.lower, var.upper);
+    }
+    return x;
+  }
+
+  const Model* model_;
+  SimplexOptions options_;
+
+  std::size_t num_structural_ = 0;
+  std::size_t num_rows_ = 0;
+  std::size_t num_cols_ = 0;       // allocated stride
+  std::size_t num_cols_used_ = 0;  // structural + slack + used artificials
+  std::size_t first_slack_ = 0;
+  std::size_t first_artificial_ = 0;
+  std::size_t num_artificial_ = 0;
+
+  std::vector<double> body_;   // num_rows x num_cols
+  std::vector<double> rhs_;    // current basic values
+  std::vector<double> reduced_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> width_;  // upper - lower per column
+  std::vector<double> shift_;  // structural lower bounds
+  std::vector<bool> flipped_;
+  std::vector<bool> banned_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const Model& model, const SimplexOptions& options) {
+  if (model.num_variables() == 0) {
+    LpResult result;
+    result.status = SolveStatus::kOptimal;
+    return result;
+  }
+  Tableau tableau(model, options);
+  return tableau.solve();
+}
+
+}  // namespace socl::solver

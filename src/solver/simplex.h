@@ -1,0 +1,52 @@
+// Dense two-phase primal simplex with implicit (flipped) upper bounds.
+//
+// Handles min c'x s.t. Ax {<=,>=,=} b, l <= x <= u. Variables are shifted to
+// zero lower bounds; finite upper bounds are honoured by the bounded-variable
+// ratio test with complement flipping, so binaries do not cost extra rows.
+// Phase I minimizes artificial infeasibility; Phase II the true objective.
+//
+// This is the LP engine underneath the branch-and-bound MIP (mip.h), the
+// library's stand-in for the commercial optimizer the paper benchmarks
+// against (Fig. 2 / Fig. 7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "solver/model.h"
+
+namespace socl::solver {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+  kTimeLimit,
+  kNoSolution,  // MIP: search exhausted/timed out with no incumbent
+};
+
+const char* to_string(SolveStatus status);
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  /// Pivot magnitude below which a column entry is treated as zero.
+  double pivot_tol = 1e-9;
+  /// Reduced-cost optimality tolerance.
+  double opt_tol = 1e-9;
+  /// Iterations without objective improvement before switching to Bland's
+  /// anti-cycling rule.
+  std::size_t stall_limit = 200;
+};
+
+struct LpResult {
+  SolveStatus status = SolveStatus::kNoSolution;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::size_t iterations = 0;
+};
+
+/// Solves the LP relaxation of `model` (integrality ignored).
+LpResult solve_lp(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace socl::solver

@@ -1,0 +1,78 @@
+// Streaming statistics, percentiles, histograms, and set/vector similarity
+// measures used by the evaluation harness (Fig. 3 similarity analysis,
+// Fig. 9/10 latency aggregation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace socl::util {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation; p in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> values, double p);
+
+/// Median shortcut.
+double median(std::vector<double> values);
+
+/// Jaccard similarity |A∩B| / |A∪B| of two integer sets; 1.0 if both empty.
+double jaccard_similarity(const std::unordered_set<std::uint64_t>& a,
+                          const std::unordered_set<std::uint64_t>& b);
+
+/// Cosine similarity of two equal-length vectors; 0.0 if either is zero.
+double cosine_similarity(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation coefficient; 0.0 when either side has no variance.
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped to the
+/// boundary bins. Used for latency distribution reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin with a proportional bar).
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace socl::util

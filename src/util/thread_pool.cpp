@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace socl::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ && drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunked dispatch: one task per worker pulling indices from a shared
+  // counter keeps queue overhead constant regardless of n.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const std::size_t tasks = std::min(n, size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    futures.push_back(submit([&, next, first_error] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1);
+        if (i >= n || first_error->load()) return;
+        try {
+          fn(i);
+        } catch (...) {
+          if (!first_error->exchange(true)) {
+            std::scoped_lock lock(error_mutex);
+            error = std::current_exception();
+          }
+          return;
+        }
+      }
+    }));
+  }
+  for (auto& future : futures) future.get();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace socl::util

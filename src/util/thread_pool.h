@@ -1,0 +1,63 @@
+// Fixed-size worker pool used by SoCL's parallel large-scale combination
+// stage (Algorithm 3, lines 1-5) and by benchmark scenario sweeps.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace socl::util {
+
+/// Simple task-queue thread pool. Tasks may not block on each other; the
+/// library only submits independent leaf work (per-instance latency-loss
+/// evaluation, per-scenario benchmark runs).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(fn));
+    std::future<Result> result = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit after shutdown");
+      }
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
+  /// Exceptions from iterations are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace socl::util

@@ -1,0 +1,204 @@
+#include "workload/behavior.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/request_gen.h"
+
+namespace socl::workload {
+namespace {
+
+constexpr std::size_t kArchetypes = 4;
+
+double normalise(std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("behavior: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("behavior: zero weights");
+  for (double& w : weights) w /= total;
+  return total;
+}
+
+bool name_contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+const char* to_string(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kBrowser:
+      return "browser";
+    case Archetype::kBuyer:
+      return "buyer";
+    case Archetype::kManager:
+      return "manager";
+    case Archetype::kBackground:
+      return "background";
+  }
+  return "?";
+}
+
+Archetype UserProfile::dominant() const {
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < affinity.size(); ++a) {
+    if (affinity[a] > affinity[best]) best = a;
+  }
+  return static_cast<Archetype>(best);
+}
+
+BehaviorModel::BehaviorModel(std::vector<double> population_shares)
+    : shares_(std::move(population_shares)) {
+  if (shares_.size() != kArchetypes) {
+    throw std::invalid_argument("BehaviorModel: need 4 population shares");
+  }
+  normalise(shares_);
+}
+
+UserProfile BehaviorModel::sample_profile(util::Rng& rng) const {
+  UserProfile profile;
+  const auto primary = rng.weighted_index(shares_);
+  profile.affinity.assign(kArchetypes, 0.1);
+  profile.affinity[primary] = 1.0;
+  // Small random secondary interests keep the mixture soft.
+  for (auto& a : profile.affinity) a *= rng.uniform(0.7, 1.3);
+  normalise(profile.affinity);
+
+  switch (static_cast<Archetype>(primary)) {
+    case Archetype::kBrowser:
+      profile.data_scale = rng.uniform(0.6, 1.0);
+      profile.request_rate = rng.uniform(1.2, 2.0);
+      break;
+    case Archetype::kBuyer:
+      profile.data_scale = rng.uniform(1.2, 1.8);
+      profile.request_rate = rng.uniform(0.8, 1.2);
+      break;
+    case Archetype::kManager:
+      profile.data_scale = rng.uniform(0.8, 1.2);
+      profile.request_rate = rng.uniform(0.5, 1.0);
+      break;
+    case Archetype::kBackground:
+      profile.data_scale = rng.uniform(0.9, 1.4);
+      profile.request_rate = rng.uniform(0.3, 0.8);
+      break;
+  }
+  return profile;
+}
+
+std::vector<double> BehaviorModel::template_signature(
+    const AppCatalog& catalog, const ChainTemplate& tpl) {
+  std::vector<double> signature(kArchetypes, 0.1);  // floor keeps positivity
+
+  // Name cues across the shipped catalogs.
+  bool has_payment = false;
+  bool has_account = false;
+  bool has_machine = false;
+  for (const MsId m : tpl.chain) {
+    const auto& name = catalog.microservice(m).name;
+    has_payment |= name_contains(name, "payment") ||
+                   name_contains(name, "basket") ||
+                   name_contains(name, "carts") ||
+                   name_contains(name, "order");
+    has_account |= name_contains(name, "identity") ||
+                   name_contains(name, "user") || name_contains(name, "auth");
+    has_machine |= name_contains(name, "webhook") ||
+                   name_contains(name, "event") ||
+                   name_contains(name, "queue") ||
+                   name_contains(name, "notification") ||
+                   name_contains(name, "bg");
+  }
+
+  // Shape cues: short chains read like browsing, long ones like purchases.
+  if (tpl.chain.size() <= 3) signature[0] += 1.0;  // browser
+  if (has_payment) signature[1] += 1.2;            // buyer
+  if (tpl.chain.size() >= 6) signature[1] += 0.4;
+  if (has_account && !has_payment) signature[2] += 1.0;  // manager
+  if (has_machine) signature[3] += 1.2;                  // background
+  // Machine flows that skip the gateway strongly indicate background work.
+  if (!tpl.chain.empty() && tpl.chain.front() != 0) signature[3] += 0.6;
+
+  return signature;
+}
+
+std::vector<double> BehaviorModel::template_weights(
+    const AppCatalog& catalog, const UserProfile& profile) const {
+  std::vector<double> weights;
+  weights.reserve(catalog.templates().size());
+  for (const auto& tpl : catalog.templates()) {
+    const auto signature = template_signature(catalog, tpl);
+    double match = 0.0;
+    for (std::size_t a = 0; a < kArchetypes; ++a) {
+      match += profile.affinity[a] * signature[a];
+    }
+    weights.push_back(tpl.weight * match);
+  }
+  return weights;
+}
+
+BehaviorWorkload generate_behavior_requests(const net::EdgeNetwork& network,
+                                            const AppCatalog& catalog,
+                                            const BehaviorModel& model,
+                                            int num_users,
+                                            std::uint64_t seed) {
+  if (num_users < 0) {
+    throw std::invalid_argument("generate_behavior_requests: negative count");
+  }
+  util::Rng rng(seed);
+  RequestGenConfig base;
+  const auto node_weights =
+      attachment_weights(network.num_nodes(), base, rng);
+
+  // Deadline-estimate constants shared with the plain generator.
+  double max_compute = 0.0;
+  for (std::size_t k = 0; k < network.num_nodes(); ++k) {
+    max_compute = std::max(
+        max_compute, network.node(static_cast<net::NodeId>(k)).compute_gflops);
+  }
+  double rate_sum = 0.0;
+  for (std::size_t l = 0; l < network.num_links(); ++l) {
+    rate_sum += network.link(static_cast<net::LinkId>(l)).rate_gbps;
+  }
+  const double mean_rate =
+      network.num_links() ? rate_sum / static_cast<double>(network.num_links())
+                          : 1.0;
+
+  BehaviorWorkload workload;
+  workload.requests.reserve(static_cast<std::size_t>(num_users));
+  workload.profiles.reserve(static_cast<std::size_t>(num_users));
+  for (int h = 0; h < num_users; ++h) {
+    UserProfile profile = model.sample_profile(rng);
+    const auto tpl_weights = model.template_weights(catalog, profile);
+
+    UserRequest request;
+    request.id = h;
+    request.attach_node =
+        static_cast<net::NodeId>(rng.weighted_index(node_weights));
+    request.chain =
+        catalog.templates()[rng.weighted_index(tpl_weights)].chain;
+    request.edge_data.resize(request.chain.size() - 1);
+    for (auto& r : request.edge_data) {
+      r = rng.uniform(base.data_min, base.data_max) * profile.data_scale;
+    }
+    request.data_in =
+        rng.uniform(base.data_min, base.data_max) * profile.data_scale;
+    request.data_out = rng.uniform(base.data_min, base.data_max * 0.25) *
+                       profile.data_scale;
+
+    double estimate = (request.data_in + request.data_out) / mean_rate;
+    for (MsId m : request.chain) {
+      estimate += catalog.microservice(m).compute_gflop / max_compute;
+    }
+    for (double r : request.edge_data) estimate += r / mean_rate;
+    request.deadline = base.deadline_slack * estimate;
+
+    validate(request, catalog.num_microservices());
+    workload.requests.push_back(std::move(request));
+    workload.profiles.push_back(std::move(profile));
+  }
+  return workload;
+}
+
+}  // namespace socl::workload

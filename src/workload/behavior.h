@@ -1,0 +1,86 @@
+// User behaviour modelling — the paper's stated future-work direction
+// ("future research will incorporate user behavior modeling and preference
+// integration to support context-aware resource management").
+//
+// Each user carries a preference profile over behavioural archetypes
+// (browser / buyer / account-manager / background). Profiles bias which
+// chain templates the user draws, how much data they move, and how often
+// they re-issue requests — so demand is no longer i.i.d. across users and
+// placements can exploit per-region interest structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/catalog.h"
+
+namespace socl::workload {
+
+/// Behavioural archetypes with distinct template-affinity signatures.
+enum class Archetype {
+  kBrowser,     // mostly read flows, small payloads, frequent requests
+  kBuyer,       // checkout-heavy, larger payloads
+  kManager,     // account/status flows
+  kBackground,  // machine-to-machine flows (webhooks, fulfilment)
+};
+
+const char* to_string(Archetype archetype);
+
+/// One user's mixture over archetypes plus intensity scalars.
+struct UserProfile {
+  /// Mixture weights, one per archetype (normalised on construction).
+  std::vector<double> affinity;
+  /// Multiplier on payload sizes (buyers move more data).
+  double data_scale = 1.0;
+  /// Relative request frequency (used by trace-driven simulations).
+  double request_rate = 1.0;
+
+  Archetype dominant() const;
+};
+
+/// Population-level behaviour model: assigns profiles and turns them into
+/// per-user template weights for a concrete catalog.
+class BehaviorModel {
+ public:
+  /// Mixes archetypes with the given population shares (normalised);
+  /// default is a retail-like 55% browser / 20% buyer / 15% manager /
+  /// 10% background split.
+  explicit BehaviorModel(std::vector<double> population_shares = {
+                             0.55, 0.20, 0.15, 0.10});
+
+  /// Samples a profile (mixture sharpened around one archetype).
+  UserProfile sample_profile(util::Rng& rng) const;
+
+  /// Template-selection weights for `profile` on `catalog`: the base
+  /// template weights modulated by how well each template's services match
+  /// the profile's archetypes. Always strictly positive.
+  std::vector<double> template_weights(const AppCatalog& catalog,
+                                       const UserProfile& profile) const;
+
+  /// Heuristic archetype score of a chain template, by name and shape:
+  /// short read-ish chains score browser, payment-bearing chains score
+  /// buyer, etc. Exposed for tests.
+  static std::vector<double> template_signature(const AppCatalog& catalog,
+                                                const ChainTemplate& tpl);
+
+ private:
+  std::vector<double> shares_;
+};
+
+/// Generates behaviour-aware requests: like generate_requests but drawing
+/// templates per user profile and scaling payloads by data_scale. Returns
+/// the profiles alongside (index-aligned with the requests).
+struct BehaviorWorkload {
+  std::vector<UserRequest> requests;
+  std::vector<UserProfile> profiles;
+};
+
+BehaviorWorkload generate_behavior_requests(const net::EdgeNetwork& network,
+                                            const AppCatalog& catalog,
+                                            const BehaviorModel& model,
+                                            int num_users,
+                                            std::uint64_t seed);
+
+}  // namespace socl::workload

@@ -1,0 +1,68 @@
+#include "workload/mobility.h"
+
+#include <algorithm>
+
+#include "net/failures.h"
+
+#include <stdexcept>
+
+namespace socl::workload {
+
+void mobility_step(const net::EdgeNetwork& network,
+                   std::vector<UserRequest>& requests,
+                   const std::vector<double>& weights,
+                   const MobilityConfig& config, util::Rng& rng) {
+  if (weights.size() != network.num_nodes()) {
+    throw std::invalid_argument("mobility_step: weight size mismatch");
+  }
+  for (auto& request : requests) {
+    if (!rng.bernoulli(config.move_prob)) continue;
+    const auto neighbors = network.neighbors(request.attach_node);
+    if (!neighbors.empty() && rng.bernoulli(config.local_hop_prob)) {
+      request.attach_node = neighbors[rng.index(neighbors.size())].neighbor;
+    } else {
+      request.attach_node =
+          static_cast<net::NodeId>(rng.weighted_index(weights));
+    }
+  }
+}
+
+std::vector<std::vector<net::NodeId>> mobility_trajectory(
+    const net::EdgeNetwork& network, std::vector<UserRequest> requests,
+    const std::vector<double>& weights, const MobilityConfig& config,
+    int slots, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<net::NodeId>> trajectory;
+  trajectory.reserve(static_cast<std::size_t>(slots));
+  for (int slot = 0; slot < slots; ++slot) {
+    mobility_step(network, requests, weights, config, rng);
+    std::vector<net::NodeId> positions;
+    positions.reserve(requests.size());
+    for (const auto& request : requests) {
+      positions.push_back(request.attach_node);
+    }
+    trajectory.push_back(std::move(positions));
+  }
+  return trajectory;
+}
+
+void reattach_users(const net::EdgeNetwork& degraded,
+                    const std::vector<net::NodeId>& failed_nodes,
+                    std::vector<UserRequest>& requests) {
+  if (failed_nodes.empty()) return;
+  const auto fallback = net::failover_targets(degraded, failed_nodes);
+  for (auto& request : requests) {
+    const bool failed =
+        std::find(failed_nodes.begin(), failed_nodes.end(),
+                  request.attach_node) != failed_nodes.end();
+    if (!failed) continue;
+    const net::NodeId target =
+        fallback[static_cast<std::size_t>(request.attach_node)];
+    if (target == net::kInvalidNode) {
+      throw std::runtime_error("reattach_users: no surviving node");
+    }
+    request.attach_node = target;
+  }
+}
+
+}  // namespace socl::workload

@@ -1,0 +1,47 @@
+// User mobility: users move between edge-server coverage areas over time,
+// shifting request trigger locations (challenge ① in Section I). The model
+// is a coverage-level random waypoint: each slot a user either stays, hops
+// to a neighbouring base station (local movement), or jumps to a random
+// hotspot-weighted station (vehicle/transit movement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "util/rng.h"
+#include "workload/microservice.h"
+
+namespace socl::workload {
+
+struct MobilityConfig {
+  /// Per-slot probability that a user moves at all.
+  double move_prob = 0.4;
+  /// Given a move, probability it is a local hop to a neighbour station
+  /// (otherwise a weighted jump anywhere).
+  double local_hop_prob = 0.8;
+};
+
+/// Mutates attach nodes of `requests` in place, one simulation slot.
+/// `weights` biases non-local jumps (same hotspot weights the generator
+/// used). Deterministic in the provided rng stream.
+void mobility_step(const net::EdgeNetwork& network,
+                   std::vector<UserRequest>& requests,
+                   const std::vector<double>& weights,
+                   const MobilityConfig& config, util::Rng& rng);
+
+/// Convenience: runs `slots` steps and records the attach-node trajectory of
+/// every user (slot-major). Used by trace-replay tests.
+std::vector<std::vector<net::NodeId>> mobility_trajectory(
+    const net::EdgeNetwork& network, std::vector<UserRequest> requests,
+    const std::vector<double>& weights, const MobilityConfig& config,
+    int slots, std::uint64_t seed);
+
+/// Moves users attached to failed nodes onto their nearest surviving
+/// station (net::failover_targets). Healthy attachments are untouched.
+/// Throws std::runtime_error when no survivor exists.
+void reattach_users(const net::EdgeNetwork& degraded,
+                    const std::vector<net::NodeId>& failed_nodes,
+                    std::vector<UserRequest>& requests);
+
+}  // namespace socl::workload

@@ -1,0 +1,95 @@
+#include "workload/request_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace socl::workload {
+
+std::vector<double> attachment_weights(std::size_t num_nodes,
+                                       const RequestGenConfig& config,
+                                       util::Rng& rng) {
+  std::vector<double> weights(num_nodes, 1.0);
+  const auto hotspots = static_cast<std::size_t>(
+      std::ceil(config.hotspot_fraction * static_cast<double>(num_nodes)));
+  std::vector<std::size_t> order(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < std::min(hotspots, num_nodes); ++i) {
+    weights[order[i]] = config.hotspot_weight;
+  }
+  return weights;
+}
+
+std::vector<UserRequest> generate_requests(const net::EdgeNetwork& network,
+                                           const AppCatalog& catalog,
+                                           const RequestGenConfig& config,
+                                           std::uint64_t seed) {
+  if (network.num_nodes() == 0) {
+    throw std::invalid_argument("generate_requests: empty network");
+  }
+  if (config.num_users < 0) {
+    throw std::invalid_argument("generate_requests: negative user count");
+  }
+  util::Rng rng(seed);
+  const auto node_weights =
+      attachment_weights(network.num_nodes(), config, rng);
+
+  std::vector<double> template_weights;
+  template_weights.reserve(catalog.templates().size());
+  for (const auto& tpl : catalog.templates()) {
+    template_weights.push_back(tpl.weight);
+  }
+
+  // Optimistic latency estimate for deadline sizing: per-microservice compute
+  // on the fastest server plus one median transfer per chain edge.
+  double max_compute = 0.0;
+  for (std::size_t k = 0; k < network.num_nodes(); ++k) {
+    max_compute = std::max(
+        max_compute, network.node(static_cast<net::NodeId>(k)).compute_gflops);
+  }
+  double rate_sum = 0.0;
+  for (std::size_t l = 0; l < network.num_links(); ++l) {
+    rate_sum += network.link(static_cast<net::LinkId>(l)).rate_gbps;
+  }
+  const double mean_rate =
+      network.num_links() ? rate_sum / static_cast<double>(network.num_links())
+                          : 1.0;
+
+  std::vector<UserRequest> requests;
+  requests.reserve(static_cast<std::size_t>(config.num_users));
+  for (int h = 0; h < config.num_users; ++h) {
+    UserRequest request;
+    request.id = h;
+    request.attach_node =
+        static_cast<net::NodeId>(rng.weighted_index(node_weights));
+
+    const auto& tpl = catalog.templates()[rng.weighted_index(template_weights)];
+    request.chain = tpl.chain;
+    if (request.chain.size() > 2 && rng.bernoulli(config.truncate_prob)) {
+      const auto keep = static_cast<std::size_t>(
+          rng.uniform_int(2, static_cast<std::int64_t>(request.chain.size())));
+      request.chain.resize(keep);
+    }
+
+    request.edge_data.resize(request.chain.size() - 1);
+    for (auto& r : request.edge_data) {
+      r = rng.uniform(config.data_min, config.data_max);
+    }
+    request.data_in = rng.uniform(config.data_min, config.data_max);
+    request.data_out = rng.uniform(config.data_min, config.data_max * 0.25);
+
+    double estimate = (request.data_in + request.data_out) / mean_rate;
+    for (MsId m : request.chain) {
+      estimate += catalog.microservice(m).compute_gflop / max_compute;
+    }
+    for (double r : request.edge_data) estimate += r / mean_rate;
+    request.deadline = config.deadline_slack * estimate;
+
+    validate(request, catalog.num_microservices());
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace socl::workload

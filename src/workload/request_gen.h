@@ -1,0 +1,47 @@
+// User-request generation: draws chains from the catalog templates, attaches
+// users to edge servers with a hotspot-weighted spatial distribution (user
+// origin locations are uncertain — Section I), and sizes data flows per the
+// paper's [1, 80] range. Deadlines D_h^max are set as a slack multiple of an
+// optimistic per-request latency estimate so the QoS constraint (Eq. 4)
+// binds occasionally but not pathologically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/microservice.h"
+
+namespace socl::workload {
+
+struct RequestGenConfig {
+  int num_users = 40;
+  /// Data-volume range for chain edges and request payloads.
+  double data_min = 1.0;
+  double data_max = 80.0;
+  /// Fraction of nodes that act as demand hotspots and their extra weight.
+  double hotspot_fraction = 0.3;
+  double hotspot_weight = 4.0;
+  /// Deadline = slack · optimistic latency estimate.
+  double deadline_slack = 6.0;
+  /// Probability of truncating a template chain at a random suffix point,
+  /// modelling partially executed flows observed in the traces.
+  double truncate_prob = 0.2;
+};
+
+/// Generates `config.num_users` requests over the given network and catalog.
+/// Deterministic in `seed`.
+std::vector<UserRequest> generate_requests(const net::EdgeNetwork& network,
+                                           const AppCatalog& catalog,
+                                           const RequestGenConfig& config,
+                                           std::uint64_t seed);
+
+/// Per-node attachment weights used by the generator (exposed for tests and
+/// for the mobility model, which preserves the same spatial bias).
+std::vector<double> attachment_weights(std::size_t num_nodes,
+                                       const RequestGenConfig& config,
+                                       util::Rng& rng);
+
+}  // namespace socl::workload

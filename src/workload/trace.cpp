@@ -1,0 +1,159 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace socl::workload {
+namespace {
+
+std::uint64_t encode_edge(int from, int to) {
+  return static_cast<std::uint64_t>(from) * 1000ULL +
+         static_cast<std::uint64_t>(to);
+}
+
+}  // namespace
+
+std::vector<TraceFile> generate_trace_files(const TraceGenConfig& config,
+                                            std::uint64_t seed) {
+  if (config.num_files <= 0 || config.num_services <= 0) {
+    throw std::invalid_argument("generate_trace_files: non-positive sizes");
+  }
+  if (config.min_chain < 2 || config.max_chain < config.min_chain) {
+    throw std::invalid_argument("generate_trace_files: bad chain bounds");
+  }
+  util::Rng rng(seed);
+
+  // Shared base population: each service owns a base chain over a private
+  // microservice id range so edges from different services never collide.
+  struct ServiceBase {
+    std::vector<int> chain;
+    double hotspot;  // trigger hotspot bucket centre, drifts per file
+    double frequency;
+  };
+  std::vector<ServiceBase> bases;
+  bases.reserve(static_cast<std::size_t>(config.num_services));
+  for (int s = 0; s < config.num_services; ++s) {
+    ServiceBase base;
+    const auto length = static_cast<int>(
+        rng.uniform_int(config.min_chain, config.max_chain));
+    base.chain.resize(static_cast<std::size_t>(length));
+    for (int i = 0; i < length; ++i) base.chain[static_cast<std::size_t>(i)] =
+        s * 100 + i;
+    base.hotspot = rng.uniform(0.0, static_cast<double>(config.trigger_buckets));
+    base.frequency = rng.uniform(50.0, 500.0);
+    bases.push_back(std::move(base));
+  }
+
+  std::vector<TraceFile> files;
+  files.reserve(static_cast<std::size_t>(config.num_files));
+  for (int f = 0; f < config.num_files; ++f) {
+    TraceFile file;
+    file.services.reserve(bases.size());
+    for (int s = 0; s < config.num_services; ++s) {
+      auto& base = bases[static_cast<std::size_t>(s)];
+      ServiceRecord record;
+      record.service_id = s;
+
+      // Mutate chain edges: with probability edge_mutation_prob an edge is
+      // rewired to a detour node unique to this file, modelling the diverse
+      // dependency structures the paper observed.
+      for (std::size_t i = 0; i + 1 < base.chain.size(); ++i) {
+        if (rng.bernoulli(config.edge_mutation_prob)) {
+          const int detour = s * 100 + 50 + f;  // per-file detour node
+          record.call_edges.insert(encode_edge(base.chain[i], detour));
+          record.call_edges.insert(encode_edge(detour, base.chain[i + 1]));
+        } else {
+          record.call_edges.insert(
+              encode_edge(base.chain[i], base.chain[i + 1]));
+        }
+      }
+
+      // Trigger histogram around a drifting hotspot.
+      record.trigger_histogram.assign(
+          static_cast<std::size_t>(config.trigger_buckets), 0.0);
+      base.hotspot += rng.normal(0.0, config.trigger_drift);
+      const double buckets = static_cast<double>(config.trigger_buckets);
+      base.hotspot = std::fmod(std::fmod(base.hotspot, buckets) + buckets,
+                               buckets);
+      const auto samples =
+          static_cast<std::uint64_t>(base.frequency * rng.uniform(0.6, 1.4));
+      for (std::uint64_t i = 0; i < samples; ++i) {
+        double pos = base.hotspot + rng.normal(0.0, buckets / 8.0);
+        pos = std::fmod(std::fmod(pos, buckets) + buckets, buckets);
+        record.trigger_histogram[static_cast<std::size_t>(pos)] += 1.0;
+      }
+      record.occurrences = samples;
+      file.services.push_back(std::move(record));
+    }
+    files.push_back(std::move(file));
+  }
+  return files;
+}
+
+double service_similarity(const ServiceRecord& a, const ServiceRecord& b) {
+  const double structural = util::jaccard_similarity(a.call_edges, b.call_edges);
+  const double spatial =
+      util::cosine_similarity(a.trigger_histogram, b.trigger_histogram);
+  return 0.5 * structural + 0.5 * spatial;
+}
+
+double cross_file_similarity(const TraceFile& file_a, const TraceFile& file_b,
+                             int service_id) {
+  const ServiceRecord* rec_a = nullptr;
+  const ServiceRecord* rec_b = nullptr;
+  for (const auto& record : file_a.services) {
+    if (record.service_id == service_id) rec_a = &record;
+  }
+  for (const auto& record : file_b.services) {
+    if (record.service_id == service_id) rec_b = &record;
+  }
+  if (rec_a == nullptr || rec_b == nullptr) {
+    throw std::invalid_argument("cross_file_similarity: service not present");
+  }
+  return service_similarity(*rec_a, *rec_b);
+}
+
+std::vector<double> request_volume_series(int hours, int bins_per_hour,
+                                          double base_rate,
+                                          std::uint64_t seed) {
+  if (hours <= 0 || bins_per_hour <= 0 || base_rate <= 0.0) {
+    throw std::invalid_argument("request_volume_series: non-positive input");
+  }
+  util::Rng rng(seed);
+  const int bins = hours * bins_per_hour;
+  std::vector<double> series(static_cast<std::size_t>(bins), 0.0);
+
+  // Recurring peaks: two diurnal harmonics (commute + evening) over the
+  // observation window, matching the "recurring peaks" shape of Fig. 4.
+  for (int b = 0; b < bins; ++b) {
+    const double t = static_cast<double>(b) / static_cast<double>(bins_per_hour);
+    const double diurnal =
+        1.0 + 0.6 * std::sin(2.0 * std::numbers::pi * t / 10.0) +
+        0.35 * std::sin(2.0 * std::numbers::pi * t / 3.0 + 1.0);
+    series[static_cast<std::size_t>(b)] = base_rate * std::max(diurnal, 0.1);
+  }
+
+  // Random flash bursts with exponential decay.
+  const int num_bursts = std::max(2, hours);
+  for (int burst = 0; burst < num_bursts; ++burst) {
+    const auto at = static_cast<int>(rng.uniform_int(0, bins - 1));
+    const double magnitude = base_rate * rng.uniform(1.0, 3.0);
+    for (int b = at; b < std::min(bins, at + 3 * bins_per_hour / 2); ++b) {
+      const double age = static_cast<double>(b - at) /
+                         static_cast<double>(bins_per_hour);
+      series[static_cast<std::size_t>(b)] += magnitude * std::exp(-2.0 * age);
+    }
+  }
+
+  // Poisson sampling turns intensities into integer-ish counts.
+  for (auto& value : series) {
+    value = static_cast<double>(rng.poisson(value));
+  }
+  return series;
+}
+
+}  // namespace socl::workload

@@ -1,0 +1,158 @@
+// Tests for the RP / JDR / GC-OG baselines and the algorithm interface.
+#include <gtest/gtest.h>
+
+#include "baselines/gcog.h"
+#include "baselines/jdr.h"
+#include "baselines/random_provision.h"
+
+namespace socl::baselines {
+namespace {
+
+using core::MsId;
+using core::NodeId;
+
+core::ScenarioConfig base_config(int nodes = 8, int users = 30,
+                                 double budget = 6500.0) {
+  core::ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_users = users;
+  config.constants.budget = budget;
+  return config;
+}
+
+TEST(Names, AreStable) {
+  EXPECT_EQ(RandomProvision().name(), "RP");
+  EXPECT_EQ(Jdr().name(), "JDR");
+  EXPECT_EQ(GreedyCombine().name(), "GC-OG");
+  EXPECT_EQ(SoCLAlgorithm().name(), "SoCL");
+}
+
+TEST(RP, ProducesRoutableWithinBudget) {
+  const auto scenario = core::make_scenario(base_config(), 1);
+  const auto solution = RandomProvision(3).solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+  EXPECT_TRUE(solution.evaluation.within_budget);
+}
+
+TEST(RP, DeterministicInSeed) {
+  const auto scenario = core::make_scenario(base_config(), 2);
+  const auto a = RandomProvision(7).solve(scenario);
+  const auto b = RandomProvision(7).solve(scenario);
+  EXPECT_EQ(a.placement, b.placement);
+}
+
+TEST(RP, DifferentSeedsUsuallyDiffer) {
+  const auto scenario = core::make_scenario(base_config(), 3);
+  const auto a = RandomProvision(1).solve(scenario);
+  const auto b = RandomProvision(2).solve(scenario);
+  EXPECT_NE(a.placement, b.placement);
+}
+
+TEST(RP, StorageRespected) {
+  const auto scenario = core::make_scenario(base_config(), 4);
+  const auto solution = RandomProvision(5).solve(scenario);
+  EXPECT_TRUE(solution.placement.storage_feasible(scenario));
+}
+
+TEST(JDR, ProducesRoutableSolution) {
+  const auto scenario = core::make_scenario(base_config(), 5);
+  const auto solution = Jdr().solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+  EXPECT_TRUE(solution.evaluation.within_budget);
+  EXPECT_TRUE(solution.placement.storage_feasible(scenario));
+}
+
+TEST(JDR, SpendsMostOfTheBudget) {
+  // JDR is cost-blind: it replicates until budget/storage stops it (the
+  // paper's redundancy criticism).
+  const auto scenario = core::make_scenario(base_config(8, 40, 6000.0), 6);
+  const auto solution = Jdr().solve(scenario);
+  EXPECT_GT(solution.evaluation.deployment_cost, 0.6 * 6000.0);
+}
+
+TEST(JDR, EveryRequestedServiceDeployed) {
+  const auto scenario = core::make_scenario(base_config(), 7);
+  const auto solution = Jdr().solve(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (!scenario.demand_nodes(m).empty()) {
+      EXPECT_GE(solution.placement.instance_count(m), 1);
+    }
+  }
+}
+
+TEST(GCOG, ProducesRoutableSolution) {
+  const auto scenario = core::make_scenario(base_config(6, 20), 8);
+  const auto solution = GreedyCombine().solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+}
+
+TEST(GCOG, NeverWorseObjectiveThanDenseStart) {
+  const auto scenario = core::make_scenario(base_config(6, 20), 9);
+  core::Placement dense(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (const NodeId k : scenario.demand_nodes(m)) dense.deploy(m, k);
+  }
+  const core::Evaluator evaluator(scenario);
+  const auto dense_eval = evaluator.evaluate(dense);
+  const auto solution = GreedyCombine().solve(scenario);
+  EXPECT_LE(solution.evaluation.objective, dense_eval.objective + 1e-6);
+}
+
+TEST(GCOG, KeepsServicesAlive) {
+  const auto scenario = core::make_scenario(base_config(6, 20), 10);
+  const auto solution = GreedyCombine().solve(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (!scenario.demand_nodes(m).empty()) {
+      EXPECT_GE(solution.placement.instance_count(m), 1);
+    }
+  }
+}
+
+TEST(Comparison, SoCLBeatsRPOnObjective) {
+  // The headline qualitative claim: structured optimization beats random.
+  int socl_wins = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto scenario = core::make_scenario(base_config(8, 40), seed);
+    const auto socl = SoCLAlgorithm().solve(scenario);
+    const auto rp = RandomProvision(seed).solve(scenario);
+    if (socl.evaluation.objective < rp.evaluation.objective) ++socl_wins;
+  }
+  EXPECT_GE(socl_wins, 4);
+}
+
+TEST(Comparison, SoCLNoWorseThanJDROnAverage) {
+  double socl_total = 0.0, jdr_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto scenario = core::make_scenario(base_config(8, 40), seed);
+    socl_total += SoCLAlgorithm().solve(scenario).evaluation.objective;
+    jdr_total += Jdr().solve(scenario).evaluation.objective;
+  }
+  EXPECT_LT(socl_total, jdr_total);
+}
+
+TEST(Comparison, SoCLFasterThanGCOG) {
+  const auto scenario = core::make_scenario(base_config(8, 60), 11);
+  const auto socl = SoCLAlgorithm().solve(scenario);
+  const auto gcog = GreedyCombine().solve(scenario);
+  EXPECT_LT(socl.runtime_seconds, gcog.runtime_seconds);
+}
+
+// All baselines must behave across problem scales.
+class BaselineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BaselineSweep, AllAlgorithmsRoutable) {
+  const auto [nodes, users] = GetParam();
+  const auto scenario = core::make_scenario(base_config(nodes, users), 12);
+  EXPECT_TRUE(RandomProvision(1).solve(scenario).evaluation.routable);
+  EXPECT_TRUE(Jdr().solve(scenario).evaluation.routable);
+  EXPECT_TRUE(SoCLAlgorithm().solve(scenario).evaluation.routable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, BaselineSweep,
+    ::testing::Combine(::testing::Values(5, 10, 15),
+                       ::testing::Values(10, 40)));
+
+}  // namespace
+}  // namespace socl::baselines

@@ -1,0 +1,202 @@
+// Tests for the user-behaviour model (the paper's future-work extension).
+#include "workload/behavior.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/socl.h"
+#include "net/topology.h"
+
+namespace socl::workload {
+namespace {
+
+TEST(Profile, DominantPicksLargestAffinity) {
+  UserProfile profile;
+  profile.affinity = {0.1, 0.6, 0.2, 0.1};
+  EXPECT_EQ(profile.dominant(), Archetype::kBuyer);
+}
+
+TEST(BehaviorModelTest, RejectsBadShares) {
+  EXPECT_THROW(BehaviorModel({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(BehaviorModel({0.0, 0.0, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(BehaviorModel({-0.1, 0.5, 0.3, 0.3}), std::invalid_argument);
+}
+
+TEST(BehaviorModelTest, ProfilesAreNormalisedMixtures) {
+  BehaviorModel model;
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto profile = model.sample_profile(rng);
+    ASSERT_EQ(profile.affinity.size(), 4u);
+    double total = 0.0;
+    for (double a : profile.affinity) {
+      EXPECT_GT(a, 0.0);
+      total += a;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GT(profile.data_scale, 0.0);
+    EXPECT_GT(profile.request_rate, 0.0);
+  }
+}
+
+TEST(BehaviorModelTest, PopulationSharesBiasDominants) {
+  BehaviorModel browser_heavy({0.9, 0.04, 0.03, 0.03});
+  util::Rng rng(2);
+  std::map<Archetype, int> counts;
+  for (int i = 0; i < 400; ++i) {
+    ++counts[browser_heavy.sample_profile(rng).dominant()];
+  }
+  EXPECT_GT(counts[Archetype::kBrowser], 300);
+}
+
+TEST(TemplateSignature, CheckoutScoresBuyer) {
+  const auto& catalog = eshop_catalog();
+  for (const auto& tpl : catalog.templates()) {
+    if (tpl.name == "checkout") {
+      const auto signature =
+          BehaviorModel::template_signature(catalog, tpl);
+      EXPECT_GT(signature[1], signature[0]);  // buyer > browser
+      return;
+    }
+  }
+  FAIL() << "eshop catalog lost its checkout template";
+}
+
+TEST(TemplateSignature, ShortBrowseScoresBrowser) {
+  const auto& catalog = eshop_catalog();
+  for (const auto& tpl : catalog.templates()) {
+    if (tpl.name == "search") {  // {web-bff, catalog}: short read flow
+      const auto signature =
+          BehaviorModel::template_signature(catalog, tpl);
+      EXPECT_GT(signature[0], signature[3]);
+      return;
+    }
+  }
+  FAIL() << "eshop catalog lost its search template";
+}
+
+TEST(TemplateSignature, FulfilmentScoresBackground) {
+  const auto& catalog = eshop_catalog();
+  for (const auto& tpl : catalog.templates()) {
+    if (tpl.name == "order-fulfilment") {  // no gateway, event-bus/webhooks
+      const auto signature =
+          BehaviorModel::template_signature(catalog, tpl);
+      EXPECT_GT(signature[3], signature[0]);
+      return;
+    }
+  }
+  FAIL() << "eshop catalog lost its order-fulfilment template";
+}
+
+TEST(TemplateWeights, StrictlyPositiveForAnyProfile) {
+  BehaviorModel model;
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto profile = model.sample_profile(rng);
+    for (const auto* catalog :
+         {&eshop_catalog(), &sock_shop_catalog(), &train_ticket_catalog()}) {
+      for (double w : model.template_weights(*catalog, profile)) {
+        EXPECT_GT(w, 0.0);
+      }
+    }
+  }
+}
+
+TEST(BehaviorWorkloadTest, GeneratesValidRequests) {
+  const auto network = net::make_topology(8, 4);
+  const BehaviorModel model;
+  const auto workload = generate_behavior_requests(
+      network, eshop_catalog(), model, 50, 5);
+  ASSERT_EQ(workload.requests.size(), 50u);
+  ASSERT_EQ(workload.profiles.size(), 50u);
+  for (const auto& request : workload.requests) {
+    EXPECT_NO_THROW(validate(request, eshop_catalog().num_microservices()));
+  }
+}
+
+TEST(BehaviorWorkloadTest, BuyersMoveMoreData) {
+  const auto network = net::make_topology(8, 6);
+  const BehaviorModel model;
+  const auto workload = generate_behavior_requests(
+      network, eshop_catalog(), model, 400, 7);
+  double buyer_data = 0.0, browser_data = 0.0;
+  int buyers = 0, browsers = 0;
+  for (std::size_t i = 0; i < workload.requests.size(); ++i) {
+    const double total = workload.requests[i].data_in;
+    switch (workload.profiles[i].dominant()) {
+      case Archetype::kBuyer:
+        buyer_data += total;
+        ++buyers;
+        break;
+      case Archetype::kBrowser:
+        browser_data += total;
+        ++browsers;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_GT(buyers, 10);
+  ASSERT_GT(browsers, 10);
+  EXPECT_GT(buyer_data / buyers, browser_data / browsers);
+}
+
+TEST(BehaviorWorkloadTest, BuyersPickPaymentChainsMoreOften) {
+  const auto network = net::make_topology(8, 8);
+  const BehaviorModel model;
+  const auto workload = generate_behavior_requests(
+      network, eshop_catalog(), model, 600, 9);
+  const MsId payment = 5;  // eshop payment-api
+  int buyer_pay = 0, buyers = 0, browser_pay = 0, browsers = 0;
+  for (std::size_t i = 0; i < workload.requests.size(); ++i) {
+    const bool pays = workload.requests[i].uses(payment);
+    switch (workload.profiles[i].dominant()) {
+      case Archetype::kBuyer:
+        ++buyers;
+        buyer_pay += pays ? 1 : 0;
+        break;
+      case Archetype::kBrowser:
+        ++browsers;
+        browser_pay += pays ? 1 : 0;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_GT(buyers, 20);
+  ASSERT_GT(browsers, 20);
+  EXPECT_GT(static_cast<double>(buyer_pay) / buyers,
+            static_cast<double>(browser_pay) / browsers);
+}
+
+TEST(BehaviorWorkloadTest, DeterministicInSeed) {
+  const auto network = net::make_topology(6, 10);
+  const BehaviorModel model;
+  const auto a =
+      generate_behavior_requests(network, eshop_catalog(), model, 20, 11);
+  const auto b =
+      generate_behavior_requests(network, eshop_catalog(), model, 20, 11);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].chain, b.requests[i].chain);
+    EXPECT_EQ(a.requests[i].attach_node, b.requests[i].attach_node);
+  }
+}
+
+TEST(BehaviorWorkloadTest, SoclSolvesBehaviorDrivenScenario) {
+  auto network = net::make_topology(8, 12);
+  const BehaviorModel model;
+  auto workload = generate_behavior_requests(network, eshop_catalog(), model,
+                                             40, 13);
+  core::ProblemConstants constants;
+  constants.budget = 7000.0;
+  const core::Scenario scenario(std::move(network), eshop_catalog(),
+                                std::move(workload.requests), constants);
+  const auto solution = core::SoCL().solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+  EXPECT_TRUE(solution.evaluation.within_budget);
+  EXPECT_TRUE(solution.evaluation.storage_ok);
+}
+
+}  // namespace
+}  // namespace socl::workload

@@ -1,0 +1,102 @@
+// Tests for the additional application catalogs (Sock Shop, Train Ticket)
+// and the catalog registry.
+#include "workload/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/socl.h"
+
+namespace socl::workload {
+namespace {
+
+TEST(SockShop, InventoryAndTemplates) {
+  const auto& catalog = sock_shop_catalog();
+  EXPECT_EQ(catalog.num_microservices(), 9);
+  EXPECT_EQ(catalog.templates().size(), 5u);
+  for (const auto& tpl : catalog.templates()) {
+    std::set<MsId> seen;
+    for (MsId m : tpl.chain) {
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, catalog.num_microservices());
+      EXPECT_TRUE(seen.insert(m).second);
+    }
+  }
+}
+
+TEST(SockShop, ParameterRangesMatchPaper) {
+  for (const auto& ms : sock_shop_catalog().microservices()) {
+    EXPECT_GE(ms.compute_gflop, 1.0) << ms.name;
+    EXPECT_LE(ms.compute_gflop, 3.0) << ms.name;
+    EXPECT_GT(ms.deploy_cost, 0.0);
+    EXPECT_GT(ms.storage, 0.0);
+  }
+}
+
+TEST(TrainTicket, TwentyServicesWithDeepChains) {
+  const auto& catalog = train_ticket_catalog();
+  EXPECT_EQ(catalog.num_microservices(), 20);
+  std::size_t longest = 0;
+  for (const auto& tpl : catalog.templates()) {
+    longest = std::max(longest, tpl.chain.size());
+  }
+  EXPECT_GE(longest, 9u);  // the "book" flow
+}
+
+TEST(TrainTicket, EveryServiceReachableFromSomeTemplate) {
+  const auto& catalog = train_ticket_catalog();
+  std::set<MsId> used;
+  for (const auto& tpl : catalog.templates()) {
+    used.insert(tpl.chain.begin(), tpl.chain.end());
+  }
+  EXPECT_EQ(static_cast<int>(used.size()), catalog.num_microservices());
+}
+
+TEST(Registry, ResolvesAllNames) {
+  EXPECT_EQ(catalog_by_name("eshop").name(), "eshopOnContainers");
+  EXPECT_EQ(catalog_by_name("sockshop").name(), "sock-shop");
+  EXPECT_EQ(catalog_by_name("trainticket").name(), "train-ticket");
+  EXPECT_EQ(catalog_by_name("tiny").name(), "tiny");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(catalog_by_name("nope"), std::invalid_argument);
+}
+
+// SoCL must solve feasibly on every shipped catalog.
+class CatalogSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CatalogSweep, SoclSolvesFeasibly) {
+  core::ScenarioConfig config;
+  config.num_nodes = 8;
+  config.num_users = 30;
+  config.constants.budget = 9000.0;
+  config.catalog = &catalog_by_name(GetParam());
+  const auto scenario = core::make_scenario(config, 5);
+  const auto solution = core::SoCL().solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable) << GetParam();
+  EXPECT_TRUE(solution.evaluation.within_budget) << GetParam();
+  EXPECT_TRUE(solution.evaluation.storage_ok) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCatalogs, CatalogSweep,
+                         ::testing::Values("eshop", "sockshop", "trainticket",
+                                           "tiny"));
+
+TEST(CatalogScenario, RequestsDrawFromCatalogTemplates) {
+  core::ScenarioConfig config;
+  config.num_nodes = 6;
+  config.num_users = 40;
+  config.catalog = &sock_shop_catalog();
+  const auto scenario = core::make_scenario(config, 9);
+  EXPECT_EQ(scenario.num_microservices(), 9);
+  for (const auto& request : scenario.requests()) {
+    for (MsId m : request.chain) {
+      EXPECT_LT(m, 9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace socl::workload

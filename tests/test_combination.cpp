@@ -1,0 +1,213 @@
+// Tests for Algorithms 3 & 4: latency losses, connection updates, parallel
+// and serial combination, roll-back, and budget enforcement.
+#include "core/combination.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace socl::core {
+namespace {
+
+ScenarioConfig base_config(int nodes = 8, int users = 30,
+                           double budget = 6500.0) {
+  ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_users = users;
+  config.constants.budget = budget;
+  return config;
+}
+
+struct Fixture {
+  Scenario scenario;
+  Partitioning partitioning;
+  Preprovisioning pre;
+
+  explicit Fixture(std::uint64_t seed, ScenarioConfig config = base_config())
+      : scenario(make_scenario(config, seed)),
+        partitioning(initial_partition(scenario, {})),
+        pre(preprovision(scenario, partitioning)) {}
+};
+
+TEST(Combiner, BestConnectionPicksDeployedNode) {
+  Fixture fx(1);
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  for (const auto& request : fx.scenario.requests()) {
+    for (const MsId m : request.chain) {
+      const NodeId k =
+          combiner.best_connection(request.id, m, fx.pre.placement);
+      ASSERT_NE(k, net::kInvalidNode);
+      EXPECT_TRUE(fx.pre.placement.deployed(m, k));
+    }
+  }
+}
+
+TEST(Combiner, BestConnectionPrefersUserGroup) {
+  Fixture fx(2);
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  for (const auto& request : fx.scenario.requests()) {
+    for (const MsId m : request.chain) {
+      const NodeId k =
+          combiner.best_connection(request.id, m, fx.pre.placement);
+      const auto& partition =
+          fx.partitioning.per_ms[static_cast<std::size_t>(m)];
+      const int user_group = partition.group_of(request.attach_node);
+      ASSERT_GE(user_group, 0) << "attach node must be a demand node";
+      // If the user's group holds any instance, the connection stays inside.
+      bool group_has_instance = false;
+      for (const NodeId q :
+           partition.groups[static_cast<std::size_t>(user_group)]) {
+        if (fx.pre.placement.deployed(m, q)) group_has_instance = true;
+      }
+      if (group_has_instance) {
+        EXPECT_EQ(partition.group_of(k), user_group);
+      }
+    }
+  }
+}
+
+TEST(Combiner, BestConnectionInvalidWhenUndeployed) {
+  Fixture fx(3);
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  const Placement empty(fx.scenario);
+  EXPECT_EQ(combiner.best_connection(0, fx.scenario.request(0).chain[0],
+                                     empty),
+            net::kInvalidNode);
+}
+
+TEST(Combiner, EstimatedCompletionUpperBoundsExactRouting) {
+  Fixture fx(4);
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  const ChainRouter router(fx.scenario);
+  for (const auto& request : fx.scenario.requests()) {
+    const double estimate =
+        combiner.estimated_completion(request, fx.pre.placement);
+    const auto route = router.route(request, fx.pre.placement);
+    ASSERT_TRUE(route.has_value());
+    EXPECT_GE(estimate, route->total() - 1e-9);
+  }
+}
+
+TEST(Combiner, LatencyLossesAscendingAndSkipSingletons) {
+  Fixture fx(5);
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  const auto losses = combiner.latency_losses(fx.pre.placement);
+  for (std::size_t i = 1; i < losses.size(); ++i) {
+    EXPECT_LE(losses[i - 1].gradient, losses[i].gradient);
+  }
+  for (const auto& loss : losses) {
+    EXPECT_GT(fx.pre.placement.instance_count(loss.service), 1);
+    EXPECT_TRUE(fx.pre.placement.deployed(loss.service, loss.node));
+  }
+}
+
+TEST(Combiner, LatencyLossesFiniteWithConsistentGradient) {
+  // ζ may be negative (a reconnection can land on a faster-compute node)
+  // but must be finite while every service keeps a fallback instance, and
+  // the gradient must follow (1-λ)·w·ζ − λ·κ.
+  Fixture fx(6);
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  const auto& constants = fx.scenario.constants();
+  for (const auto& loss : combiner.latency_losses(fx.pre.placement)) {
+    EXPECT_TRUE(std::isfinite(loss.zeta));
+    const double expected =
+        (1.0 - constants.lambda) * constants.latency_weight * loss.zeta -
+        constants.lambda *
+            fx.scenario.catalog().microservice(loss.service).deploy_cost;
+    EXPECT_NEAR(loss.gradient, expected, 1e-9);
+  }
+}
+
+TEST(Combiner, RunMeetsBudget) {
+  Fixture fx(7, base_config(8, 40, 5500.0));
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  CombinationStats stats;
+  const auto placement = combiner.run(fx.pre, &stats);
+  EXPECT_LE(placement.deployment_cost(fx.scenario.catalog()),
+            fx.scenario.constants().budget + 1e-6);
+  EXPECT_GE(stats.parallel_rounds, 0);
+}
+
+TEST(Combiner, KeepsEveryRequestedServiceAlive) {
+  Fixture fx(8, base_config(8, 40, 5000.0));
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  const auto placement = combiner.run(fx.pre, nullptr);
+  for (MsId m = 0; m < fx.scenario.num_microservices(); ++m) {
+    if (!fx.scenario.demand_nodes(m).empty()) {
+      EXPECT_GE(placement.instance_count(m), 1) << "ms " << m;
+    }
+  }
+}
+
+TEST(Combiner, FinalPlacementRoutable) {
+  Fixture fx(9, base_config(10, 50, 6000.0));
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  const auto placement = combiner.run(fx.pre, nullptr);
+  const ChainRouter router(fx.scenario);
+  EXPECT_TRUE(router.route_all(placement).has_value());
+}
+
+TEST(Combiner, SerialStageReducesObjectiveVsPreprovision) {
+  Fixture fx(10, base_config(8, 40, 6500.0));
+  CombinationConfig config;
+  config.theta = 0.0;  // strict descent
+  Combiner combiner(fx.scenario, fx.partitioning, config);
+  const double before = combiner.estimated_objective(fx.pre.placement);
+  const auto placement = combiner.run(fx.pre, nullptr);
+  const double after = combiner.estimated_objective(placement);
+  EXPECT_LE(after, before + 1e-6);
+}
+
+TEST(Combiner, DisabledParallelStageStillMeetsBudget) {
+  Fixture fx(11, base_config(8, 40, 5200.0));
+  CombinationConfig config;
+  config.use_parallel_stage = false;
+  Combiner combiner(fx.scenario, fx.partitioning, config);
+  CombinationStats stats;
+  const auto placement = combiner.run(fx.pre, &stats);
+  EXPECT_EQ(stats.parallel_rounds, 0);
+  // Serial descent keeps combining while over budget only via δ; without
+  // the parallel stage the budget may bind through storage/objective — the
+  // placement must still be routable.
+  const ChainRouter router(fx.scenario);
+  EXPECT_TRUE(router.route_all(placement).has_value());
+}
+
+TEST(Combiner, RollbackCountReportedWhenDeadlinesTight) {
+  ScenarioConfig config = base_config(8, 40, 5500.0);
+  config.requests.deadline_slack = 1.2;  // tight deadlines force rollbacks
+  Fixture fx(12, config);
+  CombinationConfig comb;
+  comb.theta = 200.0;  // push hard so rollback triggers
+  Combiner combiner(fx.scenario, fx.partitioning, comb);
+  CombinationStats stats;
+  combiner.run(fx.pre, &stats);
+  // Not guaranteed on every seed, but stats must be self-consistent.
+  EXPECT_GE(stats.rollbacks, 0);
+  EXPECT_GE(stats.serial_removals, 0);
+}
+
+TEST(Combiner, OmegaControlsParallelAggressiveness) {
+  ScenarioConfig config = base_config(10, 60, 5200.0);
+  Fixture fx(13, config);
+  CombinationConfig slow, fast;
+  slow.omega = 0.05;
+  fast.omega = 0.5;
+  CombinationStats slow_stats, fast_stats;
+  Combiner(fx.scenario, fx.partitioning, slow).run(fx.pre, &slow_stats);
+  Combiner(fx.scenario, fx.partitioning, fast).run(fx.pre, &fast_stats);
+  if (slow_stats.parallel_rounds > 0 && fast_stats.parallel_rounds > 0) {
+    EXPECT_GE(slow_stats.parallel_rounds, fast_stats.parallel_rounds);
+  }
+}
+
+TEST(Combiner, EstimatedObjectiveInfiniteWhenServiceMissing) {
+  Fixture fx(14);
+  Combiner combiner(fx.scenario, fx.partitioning, {});
+  const Placement empty(fx.scenario);
+  EXPECT_TRUE(std::isinf(combiner.estimated_objective(empty)));
+}
+
+}  // namespace
+}  // namespace socl::core

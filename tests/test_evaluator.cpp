@@ -1,0 +1,129 @@
+// Tests for the shared placement evaluator (Eq. 3/8 scoring + constraints).
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace socl::core {
+namespace {
+
+ScenarioConfig config_with(double lambda, double budget) {
+  ScenarioConfig config;
+  config.num_nodes = 5;
+  config.num_users = 12;
+  config.use_tiny_catalog = true;
+  config.constants.lambda = lambda;
+  config.constants.budget = budget;
+  return config;
+}
+
+Placement everywhere(const Scenario& scenario) {
+  Placement p(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) p.deploy(m, k);
+  }
+  return p;
+}
+
+TEST(EvaluatorTest, CombineFollowsLambda) {
+  const auto scenario = make_scenario(config_with(0.5, 5000.0), 1);
+  const Evaluator evaluator(scenario);
+  const double combined = evaluator.combine(1000.0, 20.0);
+  EXPECT_NEAR(combined,
+              0.5 * 1000.0 +
+                  0.5 * scenario.constants().latency_weight * 20.0,
+              1e-9);
+}
+
+TEST(EvaluatorTest, PureCostObjectiveIgnoresLatency) {
+  const auto scenario = make_scenario(config_with(1.0, 5000.0), 2);
+  const Evaluator evaluator(scenario);
+  const auto eval = evaluator.evaluate(everywhere(scenario));
+  EXPECT_NEAR(eval.objective, eval.deployment_cost, 1e-9);
+}
+
+TEST(EvaluatorTest, PureLatencyObjectiveIgnoresCost) {
+  const auto scenario = make_scenario(config_with(0.0, 1e9), 3);
+  const Evaluator evaluator(scenario);
+  const auto eval = evaluator.evaluate(everywhere(scenario));
+  EXPECT_NEAR(eval.objective,
+              scenario.constants().latency_weight * eval.total_latency,
+              1e-9);
+}
+
+TEST(EvaluatorTest, UnroutableIsInfinite) {
+  const auto scenario = make_scenario(config_with(0.5, 5000.0), 4);
+  const Evaluator evaluator(scenario);
+  const Placement empty(scenario);
+  const auto eval = evaluator.evaluate(empty);
+  EXPECT_FALSE(eval.routable);
+  EXPECT_TRUE(std::isinf(eval.objective));
+  EXPECT_FALSE(eval.feasible());
+}
+
+TEST(EvaluatorTest, BudgetFlagTracksCost) {
+  const auto scenario = make_scenario(config_with(0.5, 800.0), 5);
+  const Evaluator evaluator(scenario);
+  const auto eval = evaluator.evaluate(everywhere(scenario));
+  EXPECT_GT(eval.deployment_cost, 800.0);
+  EXPECT_FALSE(eval.within_budget);
+}
+
+TEST(EvaluatorTest, MeanAndMaxLatencyConsistent) {
+  const auto scenario = make_scenario(config_with(0.5, 1e9), 6);
+  const Evaluator evaluator(scenario);
+  const auto eval = evaluator.evaluate(everywhere(scenario));
+  ASSERT_TRUE(eval.routable);
+  EXPECT_GE(eval.max_latency, eval.mean_latency);
+  EXPECT_NEAR(eval.mean_latency * scenario.num_users(), eval.total_latency,
+              1e-6);
+}
+
+TEST(EvaluatorTest, AssignmentOverloadMatchesRouterOnOptimalRoutes) {
+  const auto scenario = make_scenario(config_with(0.5, 1e9), 7);
+  const Evaluator evaluator(scenario);
+  const auto placement = everywhere(scenario);
+  const auto assignment = evaluator.router().route_all(placement);
+  ASSERT_TRUE(assignment.has_value());
+  const auto via_routing = evaluator.evaluate(placement);
+  const auto via_assignment = evaluator.evaluate(placement, *assignment);
+  EXPECT_NEAR(via_routing.objective, via_assignment.objective, 1e-6);
+}
+
+TEST(EvaluatorTest, SuboptimalAssignmentScoresWorse) {
+  const auto scenario = make_scenario(config_with(0.0, 1e9), 8);
+  const Evaluator evaluator(scenario);
+  const auto placement = everywhere(scenario);
+  // Deliberately bad: everything on node 0 regardless of attach point.
+  Assignment bad(scenario);
+  for (const auto& request : scenario.requests()) {
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      bad.set(request.id, static_cast<int>(pos), 0);
+    }
+  }
+  const auto optimal = evaluator.evaluate(placement);
+  const auto forced = evaluator.evaluate(placement, bad);
+  EXPECT_GE(forced.total_latency, optimal.total_latency - 1e-9);
+}
+
+TEST(EvaluatorTest, InconsistentAssignmentIsUnroutable) {
+  const auto scenario = make_scenario(config_with(0.5, 1e9), 9);
+  const Evaluator evaluator(scenario);
+  Placement placement(scenario);
+  placement.deploy(0, 0);  // partial deployment only
+  const Assignment unset(scenario);
+  const auto eval = evaluator.evaluate(placement, unset);
+  EXPECT_FALSE(eval.routable);
+}
+
+TEST(EvaluatorTest, SummaryMentionsViolations) {
+  const auto scenario = make_scenario(config_with(0.5, 10.0), 10);
+  const Evaluator evaluator(scenario);
+  const auto eval = evaluator.evaluate(everywhere(scenario));
+  const auto text = eval.summary();
+  EXPECT_NE(text.find("OVER-BUDGET"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace socl::core

@@ -1,0 +1,173 @@
+// Tests for failure injection and SoCL's re-provisioning resilience.
+#include "net/failures.h"
+
+#include <gtest/gtest.h>
+
+#include "core/socl.h"
+#include "net/shortest_path.h"
+#include "net/topology.h"
+#include "workload/mobility.h"
+#include "workload/request_gen.h"
+
+namespace socl::net {
+namespace {
+
+TEST(ApplyFailures, EmptyPlanIsIdentity) {
+  const auto network = make_topology(8, 1);
+  const auto degraded = apply_failures(network, {});
+  EXPECT_EQ(degraded.num_nodes(), network.num_nodes());
+  EXPECT_EQ(degraded.num_links(), network.num_links());
+}
+
+TEST(ApplyFailures, FailedLinkRemoved) {
+  const auto network = make_topology(8, 2);
+  FailurePlan plan;
+  plan.failed_links.push_back(0);
+  const auto degraded = apply_failures(network, plan);
+  EXPECT_EQ(degraded.num_links(), network.num_links() - 1);
+  const auto& dead = network.link(0);
+  EXPECT_FALSE(degraded.has_link(dead.a, dead.b));
+}
+
+TEST(ApplyFailures, FailedNodeIsolatedAndZeroed) {
+  const auto network = make_topology(8, 3);
+  FailurePlan plan;
+  plan.failed_nodes.push_back(2);
+  const auto degraded = apply_failures(network, plan);
+  EXPECT_EQ(degraded.num_nodes(), network.num_nodes());  // ids stable
+  EXPECT_EQ(degraded.degree(2), 0u);
+  EXPECT_DOUBLE_EQ(degraded.node(2).storage_units, 0.0);
+  EXPECT_LT(degraded.node(2).compute_gflops, 1e-3);
+}
+
+TEST(ApplyFailures, RejectsBadIds) {
+  const auto network = make_topology(4, 4);
+  FailurePlan plan;
+  plan.failed_nodes.push_back(9);
+  EXPECT_THROW(apply_failures(network, plan), std::out_of_range);
+  plan.failed_nodes.clear();
+  plan.failed_links.push_back(999);
+  EXPECT_THROW(apply_failures(network, plan), std::out_of_range);
+}
+
+TEST(SurvivorsConnected, DetectsPartition) {
+  // Path 0-1-2: failing the middle node partitions the survivors.
+  EdgeNetwork network;
+  for (int i = 0; i < 3; ++i) network.add_node({});
+  network.add_link_with_rate(0, 1, 5.0);
+  network.add_link_with_rate(1, 2, 5.0);
+  FailurePlan plan;
+  plan.failed_nodes.push_back(1);
+  const auto degraded = apply_failures(network, plan);
+  EXPECT_FALSE(survivors_connected(degraded, plan.failed_nodes));
+}
+
+TEST(RandomFailures, ConnectivityGuardHolds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto network = make_topology(12, seed);
+    util::Rng rng(seed * 13);
+    const auto plan = random_failures(network, 0.2, 2, rng,
+                                      /*keep_survivors_connected=*/true);
+    const auto degraded = apply_failures(network, plan);
+    EXPECT_TRUE(survivors_connected(degraded, plan.failed_nodes))
+        << "seed " << seed;
+  }
+}
+
+TEST(RandomFailures, Deterministic) {
+  const auto network = make_topology(10, 5);
+  util::Rng a(9), b(9);
+  const auto plan_a = random_failures(network, 0.3, 2, a);
+  const auto plan_b = random_failures(network, 0.3, 2, b);
+  EXPECT_EQ(plan_a.failed_links, plan_b.failed_links);
+  EXPECT_EQ(plan_a.failed_nodes, plan_b.failed_nodes);
+}
+
+TEST(FailoverTargets, NearestSurvivorChosen) {
+  const auto network = make_topology(8, 6);
+  FailurePlan plan;
+  plan.failed_nodes.push_back(0);
+  const auto degraded = apply_failures(network, plan);
+  const auto targets = failover_targets(degraded, plan.failed_nodes);
+  ASSERT_NE(targets[0], kInvalidNode);
+  EXPECT_NE(targets[0], 0);
+  // No healthy node entries.
+  for (NodeId k = 1; k < 8; ++k) EXPECT_EQ(targets[k], kInvalidNode);
+}
+
+TEST(ReattachUsers, MovesOnlyAffectedUsers) {
+  const auto network = make_topology(8, 7);
+  workload::RequestGenConfig gen;
+  gen.num_users = 40;
+  auto requests = workload::generate_requests(
+      network, workload::eshop_catalog(), gen, 8);
+  FailurePlan plan;
+  plan.failed_nodes.push_back(requests.front().attach_node);
+  const auto degraded = apply_failures(network, plan);
+  const auto before = requests;
+  workload::reattach_users(degraded, plan.failed_nodes, requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (before[i].attach_node == plan.failed_nodes.front()) {
+      EXPECT_NE(requests[i].attach_node, plan.failed_nodes.front());
+    } else {
+      EXPECT_EQ(requests[i].attach_node, before[i].attach_node);
+    }
+  }
+}
+
+TEST(Resilience, SoclReprovisionsAfterNodeFailure) {
+  // End-to-end drill: solve, fail a node, re-attach, re-solve — the new
+  // decision must be feasible and place nothing on the dead server.
+  core::ScenarioConfig config;
+  config.num_nodes = 10;
+  config.num_users = 40;
+  const auto healthy = core::make_scenario(config, 9);
+  const auto before = core::SoCL().solve(healthy);
+  ASSERT_TRUE(before.evaluation.feasible());
+
+  util::Rng rng(10);
+  const auto plan = random_failures(healthy.network(), 0.1, 2, rng);
+  if (plan.failed_nodes.empty()) GTEST_SKIP() << "no failable node";
+  auto degraded_net = apply_failures(healthy.network(), plan);
+  auto requests = healthy.requests();
+  workload::reattach_users(degraded_net, plan.failed_nodes, requests);
+  const core::Scenario degraded(std::move(degraded_net), healthy.catalog(),
+                                std::move(requests), healthy.constants());
+
+  const auto after = core::SoCL().solve(degraded);
+  EXPECT_TRUE(after.evaluation.routable);
+  EXPECT_TRUE(after.evaluation.within_budget);
+  EXPECT_TRUE(after.evaluation.storage_ok);
+  for (const NodeId dead : plan.failed_nodes) {
+    for (core::MsId m = 0; m < degraded.num_microservices(); ++m) {
+      EXPECT_FALSE(after.placement.deployed(m, dead))
+          << "instance on failed node " << dead;
+    }
+  }
+}
+
+TEST(Resilience, ObjectiveDegradesGracefully) {
+  core::ScenarioConfig config;
+  config.num_nodes = 12;
+  config.num_users = 50;
+  const auto healthy = core::make_scenario(config, 11);
+  const auto baseline = core::SoCL().solve(healthy);
+
+  util::Rng rng(12);
+  const auto plan = random_failures(healthy.network(), 0.15, 2, rng);
+  auto degraded_net = apply_failures(healthy.network(), plan);
+  auto requests = healthy.requests();
+  workload::reattach_users(degraded_net, plan.failed_nodes, requests);
+  const core::Scenario degraded(std::move(degraded_net), healthy.catalog(),
+                                std::move(requests), healthy.constants());
+  const auto after = core::SoCL().solve(degraded);
+  // Losing substrate can only hurt, but not catastrophically (< 2x) while
+  // survivors stay connected.
+  EXPECT_GE(after.evaluation.objective,
+            baseline.evaluation.objective * 0.95);
+  EXPECT_LT(after.evaluation.objective,
+            baseline.evaluation.objective * 2.0);
+}
+
+}  // namespace
+}  // namespace socl::net

@@ -1,0 +1,126 @@
+// Tests for the FuzzyAHP weighting and scoring used by storage planning.
+#include "core/fuzzy_ahp.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace socl::core {
+namespace {
+
+TEST(TriFuzzyTest, ReciprocalSwapsAndInverts) {
+  const TriFuzzy tfn{2.0, 3.0, 4.0};
+  const TriFuzzy rec = tfn.reciprocal();
+  EXPECT_DOUBLE_EQ(rec.l, 0.25);
+  EXPECT_DOUBLE_EQ(rec.m, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(rec.u, 0.5);
+}
+
+TEST(TriFuzzyTest, CrispIsCentroid) {
+  const TriFuzzy tfn{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(tfn.crisp(), 3.0);
+}
+
+TEST(Buckley, UniformMatrixGivesEqualWeights) {
+  const auto eq = fuzzy_equal();
+  const std::vector<std::vector<TriFuzzy>> comparison = {
+      {eq, eq, eq}, {eq, eq, eq}, {eq, eq, eq}};
+  const auto weights = buckley_weights(comparison);
+  ASSERT_EQ(weights.size(), 3u);
+  for (double w : weights) EXPECT_NEAR(w, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Buckley, WeightsSumToOne) {
+  const auto eq = fuzzy_equal();
+  const auto mod = fuzzy_moderate();
+  const std::vector<std::vector<TriFuzzy>> comparison = {
+      {eq, mod}, {mod.reciprocal(), eq}};
+  const auto weights = buckley_weights(comparison);
+  EXPECT_NEAR(std::accumulate(weights.begin(), weights.end(), 0.0), 1.0,
+              1e-9);
+}
+
+TEST(Buckley, DominantCriterionGetsLargestWeight) {
+  const auto eq = fuzzy_equal();
+  const auto strong = fuzzy_strong();
+  const std::vector<std::vector<TriFuzzy>> comparison = {
+      {eq, strong, strong},
+      {strong.reciprocal(), eq, eq},
+      {strong.reciprocal(), eq, eq}};
+  const auto weights = buckley_weights(comparison);
+  EXPECT_GT(weights[0], weights[1]);
+  EXPECT_GT(weights[0], weights[2]);
+  EXPECT_NEAR(weights[1], weights[2], 1e-9);
+}
+
+TEST(Buckley, RejectsBadMatrices) {
+  EXPECT_THROW(buckley_weights({}), std::invalid_argument);
+  const auto eq = fuzzy_equal();
+  EXPECT_THROW(buckley_weights({{eq, eq}}), std::invalid_argument);
+}
+
+TEST(FuzzyScores, BenefitCriterionRanksHigherValues) {
+  const std::vector<std::vector<double>> values = {{1.0}, {5.0}, {3.0}};
+  const auto scores =
+      fuzzy_ahp_scores(values, {1.0}, {CriterionKind::kBenefit});
+  EXPECT_LT(scores[0], scores[2]);
+  EXPECT_LT(scores[2], scores[1]);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+TEST(FuzzyScores, CostCriterionInverts) {
+  const std::vector<std::vector<double>> values = {{1.0}, {5.0}};
+  const auto scores = fuzzy_ahp_scores(values, {1.0}, {CriterionKind::kCost});
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(FuzzyScores, ConstantCriterionContributesHalf) {
+  const std::vector<std::vector<double>> values = {{7.0}, {7.0}};
+  const auto scores =
+      fuzzy_ahp_scores(values, {1.0}, {CriterionKind::kBenefit});
+  EXPECT_DOUBLE_EQ(scores[0], 0.5);
+  EXPECT_DOUBLE_EQ(scores[1], 0.5);
+}
+
+TEST(FuzzyScores, WeightsBlendCriteria) {
+  // Alternative 0 wins criterion A, alternative 1 wins criterion B; the
+  // heavier weight decides.
+  const std::vector<std::vector<double>> values = {{10.0, 1.0}, {1.0, 10.0}};
+  const auto a_heavy = fuzzy_ahp_scores(
+      values, {0.9, 0.1}, {CriterionKind::kBenefit, CriterionKind::kBenefit});
+  EXPECT_GT(a_heavy[0], a_heavy[1]);
+  const auto b_heavy = fuzzy_ahp_scores(
+      values, {0.1, 0.9}, {CriterionKind::kBenefit, CriterionKind::kBenefit});
+  EXPECT_LT(b_heavy[0], b_heavy[1]);
+}
+
+TEST(FuzzyScores, ShapeErrorsThrow) {
+  EXPECT_THROW(
+      fuzzy_ahp_scores({{1.0}}, {1.0, 2.0}, {CriterionKind::kBenefit}),
+      std::invalid_argument);
+  EXPECT_THROW(fuzzy_ahp_scores({{1.0, 2.0}}, {1.0},
+                                {CriterionKind::kBenefit}),
+               std::invalid_argument);
+}
+
+TEST(FuzzyScores, EmptyAlternativesIsEmpty) {
+  EXPECT_TRUE(
+      fuzzy_ahp_scores({}, {1.0}, {CriterionKind::kBenefit}).empty());
+}
+
+TEST(FuzzyScores, ScoresStayInUnitInterval) {
+  const std::vector<std::vector<double>> values = {
+      {1.0, 9.0, 4.0}, {2.0, 3.0, 8.0}, {7.0, 1.0, 2.0}};
+  const auto scores = fuzzy_ahp_scores(
+      values, {0.5, 0.3, 0.2},
+      {CriterionKind::kBenefit, CriterionKind::kCost,
+       CriterionKind::kBenefit});
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace socl::core

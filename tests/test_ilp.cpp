@@ -1,0 +1,142 @@
+// Tests for the ILP model builder and the OPT pipeline.
+#include "ilp/socl_ilp.h"
+
+#include <gtest/gtest.h>
+
+namespace socl::ilp {
+namespace {
+
+using core::MsId;
+using core::NodeId;
+
+core::ScenarioConfig tiny_config(int nodes = 4, int users = 6,
+                                 double budget = 2500.0) {
+  core::ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_users = users;
+  config.use_tiny_catalog = true;
+  config.constants.budget = budget;
+  return config;
+}
+
+TEST(IlpBuild, VariableCountsMatchStructure) {
+  const auto scenario = core::make_scenario(tiny_config(), 1);
+  const auto ilp = build_socl_ilp(scenario);
+  std::size_t expected_x = 0;
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (!scenario.demand_nodes(m).empty()) {
+      expected_x += static_cast<std::size_t>(scenario.num_nodes());
+    }
+  }
+  std::size_t expected_y = 0;
+  for (const auto& request : scenario.requests()) {
+    expected_y +=
+        request.chain.size() * static_cast<std::size_t>(scenario.num_nodes());
+  }
+  EXPECT_EQ(ilp.model.num_variables(), expected_x + expected_y);
+}
+
+TEST(IlpBuild, AllVariablesBinary) {
+  const auto scenario = core::make_scenario(tiny_config(), 2);
+  const auto ilp = build_socl_ilp(scenario);
+  for (std::size_t j = 0; j < ilp.model.num_variables(); ++j) {
+    const auto& var = ilp.model.variable(static_cast<int>(j));
+    EXPECT_TRUE(var.is_integer);
+    EXPECT_DOUBLE_EQ(var.lower, 0.0);
+    EXPECT_DOUBLE_EQ(var.upper, 1.0);
+  }
+}
+
+TEST(IlpBuild, XCostsCarryLambdaKappa) {
+  const auto scenario = core::make_scenario(tiny_config(), 3);
+  const auto ilp = build_socl_ilp(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      const int xv = ilp.x_index[static_cast<std::size_t>(m)]
+                                [static_cast<std::size_t>(k)];
+      if (xv < 0) continue;
+      EXPECT_NEAR(ilp.model.variable(xv).objective,
+                  scenario.constants().lambda *
+                      scenario.catalog().microservice(m).deploy_cost,
+                  1e-9);
+    }
+  }
+}
+
+TEST(IlpSolve, OptimalSolutionIsFeasibleForModel) {
+  const auto scenario = core::make_scenario(tiny_config(), 4);
+  const auto ilp = build_socl_ilp(scenario);
+  solver::MipOptions options;
+  options.time_limit_s = 60.0;
+  const auto mip = solver::solve_mip(ilp.model, options);
+  ASSERT_EQ(mip.status, solver::SolveStatus::kOptimal);
+  EXPECT_TRUE(ilp.model.feasible(mip.x));
+}
+
+TEST(IlpSolve, DecodedPlacementServesEveryRequest) {
+  const auto scenario = core::make_scenario(tiny_config(), 5);
+  const auto result = solve_opt(scenario);
+  ASSERT_TRUE(result.mip.has_solution());
+  EXPECT_TRUE(result.solution.evaluation.routable);
+  EXPECT_TRUE(result.solution.evaluation.within_budget);
+}
+
+TEST(IlpSolve, WarmStartFromSoclAccepted) {
+  const auto scenario = core::make_scenario(tiny_config(), 6);
+  const auto socl = core::SoCL().solve(scenario);
+  const auto ilp = build_socl_ilp(scenario);
+  const auto warm = encode_warm_start(scenario, ilp, socl.placement);
+  ASSERT_FALSE(warm.empty());
+  // Deadline rows use the model's approximate coefficients, so a SoCL
+  // placement may or may not satisfy them; if feasible, the MIP must accept
+  // it as an incumbent bound.
+  solver::MipOptions options;
+  options.initial_solution = warm;
+  options.time_limit_s = 60.0;
+  const auto mip = solver::solve_mip(ilp.model, options);
+  ASSERT_TRUE(mip.has_solution());
+  if (ilp.model.feasible(warm)) {
+    EXPECT_LE(mip.objective, ilp.model.objective_value(warm) + 1e-6);
+  }
+}
+
+TEST(IlpSolve, OptNeverWorseThanSoclOnModelObjective) {
+  // On the model's own objective, the exact solver lower-bounds any feasible
+  // warm start; comparing evaluated objectives, OPT should be close to or
+  // better than SoCL on tiny instances.
+  const auto scenario = core::make_scenario(tiny_config(4, 5), 7);
+  const auto opt = solve_opt(scenario);
+  const auto socl = core::SoCL().solve(scenario);
+  ASSERT_TRUE(opt.mip.has_solution());
+  ASSERT_TRUE(opt.solution.evaluation.routable);
+  // The ILP prices transfers from the attach node, so its evaluated
+  // objective can deviate slightly; accept a 25% band.
+  EXPECT_LT(opt.solution.evaluation.objective,
+            1.25 * socl.evaluation.objective);
+}
+
+TEST(IlpSolve, DeadlineRowsToggle) {
+  const auto scenario = core::make_scenario(tiny_config(), 8);
+  IlpBuildOptions with, without;
+  without.deadline_rows = false;
+  const auto a = build_socl_ilp(scenario, with);
+  const auto b = build_socl_ilp(scenario, without);
+  EXPECT_EQ(a.model.num_constraints(),
+            b.model.num_constraints() +
+                static_cast<std::size_t>(scenario.num_users()));
+}
+
+TEST(IlpSolve, BudgetConstraintBinds) {
+  // With a budget that only allows one instance per service, the optimal x
+  // must not exceed it.
+  auto config = tiny_config(4, 6, 800.0);
+  const auto scenario = core::make_scenario(config, 9);
+  const auto result = solve_opt(scenario);
+  if (result.mip.has_solution()) {
+    EXPECT_LE(result.solution.placement.deployment_cost(scenario.catalog()),
+              800.0 + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace socl::ilp

@@ -1,0 +1,183 @@
+// Hand-computed verification of the completion-time model (Eq. 2) on a
+// fully manual scenario: a 3-node path network with known link rates, the
+// tiny catalog, and requests with fixed data volumes. Every term — d_in,
+// processing q/c, chain transfer r/B', d_out — is checked against closed
+// forms, including the harmonic-mean virtual-link rates.
+#include <gtest/gtest.h>
+
+#include "core/combination.h"
+#include "core/evaluator.h"
+
+namespace socl::core {
+namespace {
+
+/// Network: v0 --(rate 10)-- v1 --(rate 40)-- v2.
+/// Virtual rates: B'(0,1)=10, B'(1,2)=40, B'(0,2)=1/(1/10+1/40)=8.
+/// Compute: c(v0)=5, c(v1)=10, c(v2)=20 GFLOP/s.
+net::EdgeNetwork manual_network() {
+  net::EdgeNetwork network;
+  net::EdgeNode node;
+  node.storage_units = 100.0;  // storage never binds here
+  node.compute_gflops = 5.0;
+  network.add_node(node);
+  node.compute_gflops = 10.0;
+  network.add_node(node);
+  node.compute_gflops = 20.0;
+  network.add_node(node);
+  network.add_link_with_rate(0, 1, 10.0);
+  network.add_link_with_rate(1, 2, 40.0);
+  return network;
+}
+
+/// One user attached to v0 requesting the tiny catalog's "write" chain
+/// frontend(q=1) -> logic(q=2) -> storage(q=1.5) with r_in=20, edges
+/// {10, 30}, r_out=4.
+workload::UserRequest manual_request() {
+  workload::UserRequest request;
+  request.id = 0;
+  request.attach_node = 0;
+  request.chain = {0, 1, 2};
+  request.edge_data = {10.0, 30.0};
+  request.data_in = 20.0;
+  request.data_out = 4.0;
+  request.deadline = 1e9;
+  return request;
+}
+
+Scenario manual_scenario() {
+  ProblemConstants constants;
+  constants.lambda = 0.5;
+  constants.budget = 1e9;
+  return Scenario(manual_network(), workload::tiny_catalog(),
+                  {manual_request()}, constants);
+}
+
+TEST(LatencyModel, AllServicesOnAttachNode) {
+  const auto scenario = manual_scenario();
+  Placement placement(scenario);
+  for (MsId m = 0; m < 3; ++m) placement.deploy(m, 0);
+  const ChainRouter router(scenario);
+  const auto route = router.route(scenario.request(0), placement);
+  ASSERT_TRUE(route.has_value());
+  // Everything local: only processing on v0 (c=5): (1 + 2 + 1.5)/5 = 0.9 s.
+  EXPECT_DOUBLE_EQ(route->d_in, 0.0);
+  EXPECT_DOUBLE_EQ(route->transfer, 0.0);
+  EXPECT_DOUBLE_EQ(route->d_out, 0.0);
+  EXPECT_NEAR(route->compute, 4.5 / 5.0, 1e-12);
+  EXPECT_NEAR(route->total(), 0.9, 1e-12);
+}
+
+TEST(LatencyModel, ChainAcrossTwoNodes) {
+  const auto scenario = manual_scenario();
+  Placement placement(scenario);
+  // frontend fixed on v1; logic and storage only on v2.
+  placement.deploy(0, 1);
+  placement.deploy(1, 2);
+  placement.deploy(2, 2);
+  const ChainRouter router(scenario);
+  const auto route = router.route(scenario.request(0), placement);
+  ASSERT_TRUE(route.has_value());
+  // d_in: 20 units from v0 to v1 at B'(0,1)=10 -> 2.0 s.
+  EXPECT_NEAR(route->d_in, 2.0, 1e-12);
+  // processing: 1/10 (frontend@v1) + 2/20 + 1.5/20 = 0.1+0.1+0.075 = 0.275.
+  EXPECT_NEAR(route->compute, 0.275, 1e-12);
+  // transfers: edge0 10 units v1->v2 at 40 -> 0.25; edge1 30 units v2->v2=0.
+  EXPECT_NEAR(route->transfer, 0.25, 1e-12);
+  // d_out: 4 units from v2 back to v1 (the FIRST service's node) at 40.
+  EXPECT_NEAR(route->d_out, 0.1, 1e-12);
+  EXPECT_NEAR(route->total(), 2.0 + 0.275 + 0.25 + 0.1, 1e-12);
+}
+
+TEST(LatencyModel, HarmonicMeanGovernsTwoHopTransfer) {
+  const auto scenario = manual_scenario();
+  Placement placement(scenario);
+  // frontend on v0 (local to the user), logic+storage only on v2 (two hops).
+  placement.deploy(0, 0);
+  placement.deploy(1, 2);
+  placement.deploy(2, 2);
+  const ChainRouter router(scenario);
+  const auto route = router.route(scenario.request(0), placement);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_DOUBLE_EQ(route->d_in, 0.0);
+  // edge0: 10 units from v0 to v2 at B'(0,2)=8 -> 1.25 s; edge1 local.
+  EXPECT_NEAR(route->transfer, 1.25, 1e-12);
+  // processing: 1/5 + 2/20 + 1.5/20 = 0.2 + 0.1 + 0.075 = 0.375.
+  EXPECT_NEAR(route->compute, 0.375, 1e-12);
+  // d_out: 4 units v2 -> v0 at 8 -> 0.5 s.
+  EXPECT_NEAR(route->d_out, 0.5, 1e-12);
+}
+
+TEST(LatencyModel, RouterTradesDinAgainstDout) {
+  // The d_out coupling: choosing the first service's node changes BOTH the
+  // upload and the return path. With a huge return payload the router must
+  // prefer a first node close to the last node even if d_in grows.
+  const auto scenario = [&] {
+    auto request = manual_request();
+    request.data_out = 400.0;  // dominates everything
+    ProblemConstants constants;
+    constants.budget = 1e9;
+    return Scenario(manual_network(), workload::tiny_catalog(), {request},
+                    constants);
+  }();
+  Placement placement(scenario);
+  placement.deploy(0, 0);  // frontend available locally...
+  placement.deploy(0, 2);  // ...and next to the chain tail
+  placement.deploy(1, 2);
+  placement.deploy(2, 2);
+  const ChainRouter router(scenario);
+  const auto route = router.route(scenario.request(0), placement);
+  ASSERT_TRUE(route.has_value());
+  // Putting frontend on v2 makes d_out zero (return v2->v2); the 20-unit
+  // upload pays 20/8 = 2.5 s. Keeping it on v0 would pay 400/8 = 50 s on
+  // the return. The router must pick v2.
+  EXPECT_EQ(route->nodes[0], 2);
+  EXPECT_DOUBLE_EQ(route->d_out, 0.0);
+  EXPECT_NEAR(route->d_in, 2.5, 1e-12);
+}
+
+TEST(LatencyModel, ObjectiveCombinesPerEquation8) {
+  const auto scenario = manual_scenario();
+  Placement placement(scenario);
+  for (MsId m = 0; m < 3; ++m) placement.deploy(m, 0);
+  const Evaluator evaluator(scenario);
+  const auto eval = evaluator.evaluate(placement);
+  // Cost: 200+300+250 = 750; latency 0.9 s; λ=0.5, w=10.
+  EXPECT_NEAR(eval.deployment_cost, 750.0, 1e-12);
+  EXPECT_NEAR(eval.total_latency, 0.9, 1e-12);
+  EXPECT_NEAR(eval.objective, 0.5 * 750.0 + 0.5 * 10.0 * 0.9, 1e-9);
+}
+
+TEST(LatencyModel, DeadlineViolationDetected) {
+  auto request = manual_request();
+  request.deadline = 0.5;  // below the 0.9 s all-local optimum
+  ProblemConstants constants;
+  constants.budget = 1e9;
+  const Scenario scenario(manual_network(), workload::tiny_catalog(),
+                          {request}, constants);
+  Placement placement(scenario);
+  for (MsId m = 0; m < 3; ++m) placement.deploy(m, 0);
+  const Evaluator evaluator(scenario);
+  const auto eval = evaluator.evaluate(placement);
+  EXPECT_EQ(eval.deadline_violations, 1);
+  EXPECT_FALSE(eval.feasible());
+}
+
+TEST(LatencyModel, EstimatedCompletionMatchesExactOnForcedRoutes) {
+  // With one instance per service the connection rule and the exact router
+  // have no choices, so the combiner estimate equals the exact D_h.
+  const auto scenario = manual_scenario();
+  Placement placement(scenario);
+  placement.deploy(0, 1);
+  placement.deploy(1, 2);
+  placement.deploy(2, 0);
+  const auto partitioning = initial_partition(scenario, {});
+  const Combiner combiner(scenario, partitioning, {});
+  const ChainRouter router(scenario);
+  const auto route = router.route(scenario.request(0), placement);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_NEAR(combiner.estimated_completion(scenario.request(0), placement),
+              route->total(), 1e-9);
+}
+
+}  // namespace
+}  // namespace socl::core

@@ -1,0 +1,216 @@
+// Tests for branch-and-bound MIP against brute-force enumeration.
+#include "solver/mip.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace socl::solver {
+namespace {
+
+/// Exhaustive 0/1 optimum for small binary models.
+double brute_force_binary(const Model& model, bool* feasible) {
+  const int n = static_cast<int>(model.num_variables());
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<std::size_t>(j)] = (mask >> j) & 1 ? 1.0 : 0.0;
+    }
+    if (!model.feasible(x)) continue;
+    best = std::min(best, model.objective_value(x));
+  }
+  *feasible = best != std::numeric_limits<double>::infinity();
+  return best;
+}
+
+TEST(Mip, SolvesKnapsack) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6 -> a + c (obj 17) vs b + c
+  // (obj 20, weight 6 feasible) -> optimum 20.
+  Model model;
+  model.add_binary(-10.0);
+  model.add_binary(-13.0);
+  model.add_binary(-7.0);
+  model.add_constraint({{0, 3.0}, {1, 4.0}, {2, 2.0}}, Sense::kLe, 6.0);
+  const auto result = solve_mip(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -20.0, 1e-7);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-7);
+  EXPECT_NEAR(result.x[2], 1.0, 1e-7);
+}
+
+TEST(Mip, IntegralRelaxationNeedsNoBranching) {
+  // Assignment-like problem whose LP relaxation is integral.
+  Model model;
+  model.add_binary(1.0);
+  model.add_binary(2.0);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::kGe, 1.0);
+  const auto result = solve_mip(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.0, 1e-7);
+  EXPECT_LE(result.nodes_explored, 2u);
+}
+
+TEST(Mip, DetectsInfeasible) {
+  Model model;
+  model.add_binary(1.0);
+  model.add_constraint({{0, 1.0}}, Sense::kGe, 2.0);
+  const auto result = solve_mip(model);
+  EXPECT_EQ(result.status, SolveStatus::kInfeasible);
+  EXPECT_FALSE(result.has_solution());
+}
+
+TEST(Mip, MixedIntegerContinuous) {
+  // min -x - 10y, x continuous in [0, 2.5], y binary,
+  // x + 4y <= 5 -> y=1, x=1 -> obj -11? x can be 1 (5-4) -> -1-10=-11;
+  // y=0, x=2.5 -> -2.5. Optimum -11.
+  Model model;
+  model.add_variable(0.0, 2.5, -1.0, false);
+  model.add_binary(-10.0);
+  model.add_constraint({{0, 1.0}, {1, 4.0}}, Sense::kLe, 5.0);
+  const auto result = solve_mip(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -11.0, 1e-6);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-7);
+}
+
+TEST(Mip, GeneralIntegerVariables) {
+  // min -x, x integer in [0, 10], 3x <= 17 -> x = 5.
+  Model model;
+  model.add_variable(0.0, 10.0, -1.0, true);
+  model.add_constraint({{0, 3.0}}, Sense::kLe, 17.0);
+  const auto result = solve_mip(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 5.0, 1e-7);
+}
+
+TEST(Mip, WarmStartAccepted) {
+  Model model;
+  model.add_binary(-1.0);
+  model.add_binary(-1.0);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::kLe, 1.0);
+  MipOptions options;
+  options.initial_solution = {1.0, 0.0};
+  const auto result = solve_mip(model, options);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -1.0, 1e-7);
+}
+
+TEST(Mip, InvalidWarmStartIgnored) {
+  Model model;
+  model.add_binary(-1.0);
+  MipOptions options;
+  options.initial_solution = {5.0};  // violates bounds
+  const auto result = solve_mip(model, options);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -1.0, 1e-7);
+}
+
+TEST(Mip, GapIsZeroAtOptimality) {
+  Model model;
+  model.add_binary(-2.0);
+  const auto result = solve_mip(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.gap(), 0.0, 1e-6);
+}
+
+TEST(Mip, RespectsTimeLimitGracefully) {
+  // A moderately hard knapsack with an absurdly small time budget must
+  // return quickly with a sane status.
+  util::Rng rng(5);
+  Model model;
+  std::vector<std::pair<int, double>> weight_terms;
+  for (int j = 0; j < 30; ++j) {
+    model.add_binary(-rng.uniform(1.0, 10.0));
+    weight_terms.emplace_back(j, rng.uniform(1.0, 10.0));
+  }
+  model.add_constraint(weight_terms, Sense::kLe, 40.0);
+  MipOptions options;
+  options.time_limit_s = 0.0;  // expire immediately
+  const auto result = solve_mip(model, options);
+  EXPECT_TRUE(result.status == SolveStatus::kTimeLimit ||
+              result.status == SolveStatus::kNoSolution ||
+              result.status == SolveStatus::kOptimal);
+}
+
+TEST(Mip, MatchesBruteForceOnRandomBinaryModels) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    Model model;
+    const int n = 6 + static_cast<int>(rng.index(4));
+    for (int j = 0; j < n; ++j) model.add_binary(rng.uniform(-5.0, 5.0));
+    const int m = 2 + static_cast<int>(rng.index(3));
+    for (int i = 0; i < m; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.bernoulli(0.6)) terms.emplace_back(j, rng.uniform(0.2, 2.0));
+      }
+      if (terms.empty()) continue;
+      const Sense sense = rng.bernoulli(0.3) ? Sense::kGe : Sense::kLe;
+      model.add_constraint(std::move(terms), sense, rng.uniform(1.0, 4.0));
+    }
+    bool feasible = false;
+    const double expected = brute_force_binary(model, &feasible);
+    const auto result = solve_mip(model);
+    if (!feasible) {
+      EXPECT_EQ(result.status, SolveStatus::kInfeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(result.status, SolveStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(result.objective, expected, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(model.feasible(result.x)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Mip, BoundNeverExceedsObjective) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    Model model;
+    for (int j = 0; j < 8; ++j) model.add_binary(rng.uniform(-3.0, 1.0));
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < 8; ++j) terms.emplace_back(j, 1.0);
+    model.add_constraint(terms, Sense::kLe, 4.0);
+    const auto result = solve_mip(model);
+    if (result.has_solution()) {
+      EXPECT_LE(result.bound, result.objective + 1e-6);
+    }
+  }
+}
+
+TEST(ModelTest, FeasibleChecksEverything) {
+  Model model;
+  model.add_binary(1.0);
+  model.add_variable(0.0, 2.0, 1.0, false);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::kLe, 2.0);
+  EXPECT_TRUE(model.feasible({1.0, 1.0}));
+  EXPECT_FALSE(model.feasible({0.5, 1.0}));   // fractional binary
+  EXPECT_FALSE(model.feasible({1.0, 3.0}));   // bound violation
+  EXPECT_FALSE(model.feasible({1.0, 1.5}));   // constraint violation
+  EXPECT_FALSE(model.feasible({1.0}));        // wrong arity
+}
+
+TEST(ModelTest, CoalescesDuplicateTerms) {
+  Model model;
+  model.add_variable(0.0, 10.0, 1.0, false);
+  model.add_constraint({{0, 1.0}, {0, 2.0}}, Sense::kLe, 6.0);
+  ASSERT_EQ(model.constraint(0).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(model.constraint(0).terms[0].second, 3.0);
+}
+
+TEST(ModelTest, RejectsBadVariableIndex) {
+  Model model;
+  model.add_binary(1.0);
+  EXPECT_THROW(model.add_constraint({{3, 1.0}}, Sense::kLe, 1.0),
+               std::out_of_range);
+}
+
+TEST(ModelTest, RejectsInvertedBounds) {
+  Model model;
+  EXPECT_THROW(model.add_variable(2.0, 1.0, 0.0, false),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socl::solver

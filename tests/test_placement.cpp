@@ -1,0 +1,117 @@
+// Tests for the deployment matrix and routing assignment containers.
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace socl::core {
+namespace {
+
+ScenarioConfig tiny_config() {
+  ScenarioConfig config;
+  config.num_nodes = 4;
+  config.num_users = 8;
+  config.use_tiny_catalog = true;
+  return config;
+}
+
+TEST(PlacementTest, DeployRemoveIdempotent) {
+  Placement p(3, 4);
+  EXPECT_FALSE(p.deployed(0, 1));
+  p.deploy(0, 1);
+  EXPECT_TRUE(p.deployed(0, 1));
+  EXPECT_EQ(p.instance_count(0), 1);
+  p.deploy(0, 1);
+  EXPECT_EQ(p.instance_count(0), 1);
+  p.remove(0, 1);
+  EXPECT_FALSE(p.deployed(0, 1));
+  EXPECT_EQ(p.instance_count(0), 0);
+  p.remove(0, 1);
+  EXPECT_EQ(p.instance_count(0), 0);
+}
+
+TEST(PlacementTest, TotalInstancesAndNodesOf) {
+  Placement p(3, 4);
+  p.deploy(0, 0);
+  p.deploy(0, 3);
+  p.deploy(2, 1);
+  EXPECT_EQ(p.total_instances(), 3);
+  EXPECT_EQ(p.nodes_of(0), (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(p.nodes_of(1), std::vector<NodeId>{});
+  EXPECT_EQ(p.nodes_of(2), std::vector<NodeId>{1});
+}
+
+TEST(PlacementTest, DeploymentCostSumsKappa) {
+  const auto scenario = make_scenario(tiny_config(), 1);
+  Placement p(scenario);
+  p.deploy(0, 0);  // tiny catalog: frontend 200
+  p.deploy(1, 0);  // logic 300
+  p.deploy(1, 1);  // logic again
+  EXPECT_DOUBLE_EQ(p.deployment_cost(scenario.catalog()), 800.0);
+}
+
+TEST(PlacementTest, StorageUsedAndFeasibility) {
+  const auto scenario = make_scenario(tiny_config(), 2);
+  Placement p(scenario);
+  p.deploy(0, 0);  // storage 1
+  p.deploy(2, 0);  // storage 2
+  EXPECT_DOUBLE_EQ(p.storage_used(scenario.catalog(), 0), 3.0);
+  EXPECT_TRUE(p.storage_feasible(scenario));  // node storage >= 4
+}
+
+TEST(PlacementTest, OutOfRangeThrows) {
+  Placement p(2, 2);
+  EXPECT_THROW(p.deploy(2, 0), std::out_of_range);
+  EXPECT_THROW(p.deploy(0, 2), std::out_of_range);
+  EXPECT_THROW(p.deployed(-1, 0), std::out_of_range);
+}
+
+TEST(PlacementTest, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Placement(0, 3), std::invalid_argument);
+  EXPECT_THROW(Placement(3, 0), std::invalid_argument);
+}
+
+TEST(PlacementTest, EqualityComparesContents) {
+  Placement a(2, 2), b(2, 2);
+  EXPECT_EQ(a, b);
+  a.deploy(1, 1);
+  EXPECT_NE(a, b);
+  b.deploy(1, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AssignmentTest, ShapeFollowsChains) {
+  const auto scenario = make_scenario(tiny_config(), 3);
+  Assignment assignment(scenario);
+  for (const auto& request : scenario.requests()) {
+    EXPECT_EQ(assignment.user_route(request.id).size(),
+              request.chain.size());
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      EXPECT_EQ(assignment.node_for(request.id, static_cast<int>(pos)),
+                net::kInvalidNode);
+    }
+  }
+}
+
+TEST(AssignmentTest, ConsistencyRequiresDeployedNodes) {
+  const auto scenario = make_scenario(tiny_config(), 4);
+  Placement placement(scenario);
+  Assignment assignment(scenario);
+  EXPECT_FALSE(assignment.consistent_with(scenario, placement));
+
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    placement.deploy(m, 0);
+  }
+  for (const auto& request : scenario.requests()) {
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      assignment.set(request.id, static_cast<int>(pos), 0);
+    }
+  }
+  EXPECT_TRUE(assignment.consistent_with(scenario, placement));
+
+  const auto& first = scenario.requests().front();
+  placement.remove(first.chain[0], 0);
+  EXPECT_FALSE(assignment.consistent_with(scenario, placement));
+}
+
+}  // namespace
+}  // namespace socl::core

@@ -1,0 +1,193 @@
+// Tests for Algorithm 2: budget bounds, quota allocation, and instance
+// contribution.
+#include "core/preprovision.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace socl::core {
+namespace {
+
+ScenarioConfig base_config(int nodes = 8, int users = 30, double budget = 6500) {
+  ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_users = users;
+  config.constants.budget = budget;
+  return config;
+}
+
+TEST(BudgetBound, MatchesFormula) {
+  const auto scenario = make_scenario(base_config(), 1);
+  const auto& catalog = scenario.catalog();
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    double others = 0.0;
+    for (MsId j = 0; j < scenario.num_microservices(); ++j) {
+      if (j != m) others += catalog.microservice(j).deploy_cost;
+    }
+    const int expected = std::max(
+        1, static_cast<int>(std::floor(
+               (scenario.constants().budget - others) /
+               catalog.microservice(m).deploy_cost)));
+    EXPECT_EQ(budget_instance_bound(scenario, m), expected);
+  }
+}
+
+TEST(BudgetBound, TightBudgetClampsToOne) {
+  const auto scenario = make_scenario(base_config(8, 30, 100.0), 2);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    EXPECT_EQ(budget_instance_bound(scenario, m), 1);
+  }
+}
+
+TEST(InstanceContribution, LowerOnDemandHeavyNode) {
+  const auto scenario = make_scenario(base_config(), 3);
+  // For a microservice with >= 2 demand nodes, hosting at the node with the
+  // largest local demand avoids that node's transfer entirely.
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& demand = scenario.demand_nodes(m);
+    if (demand.size() < 2) continue;
+    for (const NodeId k : demand) {
+      const double d = instance_contribution(scenario, m, demand, k);
+      EXPECT_GT(d, 0.0);  // includes compute time
+    }
+    break;
+  }
+}
+
+TEST(Preprovision, EveryRequestedServiceGetsAtLeastOneInstance) {
+  const auto scenario = make_scenario(base_config(), 4);
+  const auto partitioning = initial_partition(scenario, {});
+  const auto pre = preprovision(scenario, partitioning);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (!scenario.demand_nodes(m).empty()) {
+      EXPECT_GE(pre.placement.instance_count(m), 1) << "ms " << m;
+    } else {
+      EXPECT_EQ(pre.placement.instance_count(m), 0) << "ms " << m;
+    }
+  }
+}
+
+TEST(Preprovision, EveryGroupWithDemandGetsAnInstance) {
+  // Paper feature ③: each connectivity-based group keeps at least one
+  // instance, improving nearby-routing odds.
+  const auto scenario = make_scenario(base_config(), 5);
+  const auto partitioning = initial_partition(scenario, {});
+  const auto pre = preprovision(scenario, partitioning);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& groups = partitioning.per_ms[static_cast<std::size_t>(m)];
+    for (std::size_t s = 0; s < groups.groups.size(); ++s) {
+      double demand = 0.0;
+      for (const NodeId k : groups.groups[s]) {
+        demand += scenario.demand_count(m, k);
+      }
+      if (demand > 0.0) {
+        EXPECT_FALSE(pre.chosen[static_cast<std::size_t>(m)][s].empty())
+            << "ms " << m << " group " << s;
+      }
+    }
+  }
+}
+
+TEST(Preprovision, ChosenHostsBelongToTheirGroups) {
+  const auto scenario = make_scenario(base_config(), 6);
+  const auto partitioning = initial_partition(scenario, {});
+  const auto pre = preprovision(scenario, partitioning);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& groups =
+        partitioning.per_ms[static_cast<std::size_t>(m)].groups;
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+      for (const NodeId k : pre.chosen[static_cast<std::size_t>(m)][s]) {
+        EXPECT_NE(std::find(groups[s].begin(), groups[s].end(), k),
+                  groups[s].end());
+        EXPECT_TRUE(pre.placement.deployed(m, k));
+      }
+    }
+  }
+}
+
+TEST(Preprovision, InstanceCountRespectsBound) {
+  const auto scenario = make_scenario(base_config(8, 40, 5000.0), 7);
+  const auto partitioning = initial_partition(scenario, {});
+  const auto pre = preprovision(scenario, partitioning);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (scenario.demand_nodes(m).empty()) continue;
+    // ceil rounding per group can exceed the exact quota slightly but never
+    // by more than one per group.
+    const auto groups =
+        partitioning.per_ms[static_cast<std::size_t>(m)].groups.size();
+    EXPECT_LE(pre.placement.instance_count(m),
+              pre.bound[static_cast<std::size_t>(m)] +
+                  static_cast<int>(groups));
+  }
+}
+
+TEST(Preprovision, TightBudgetShrinksFootprint) {
+  const auto generous = make_scenario(base_config(8, 40, 20000.0), 8);
+  const auto tight = make_scenario(base_config(8, 40, 3600.0), 8);
+  const auto part_generous = initial_partition(generous, {});
+  const auto part_tight = initial_partition(tight, {});
+  const int big =
+      preprovision(generous, part_generous).placement.total_instances();
+  const int small =
+      preprovision(tight, part_tight).placement.total_instances();
+  EXPECT_LE(small, big);
+}
+
+TEST(Preprovision, NoQuotaDeploysOnAllGroupNodes) {
+  const auto scenario = make_scenario(base_config(), 9);
+  const auto partitioning = initial_partition(scenario, {});
+  PreprovisionConfig config;
+  config.use_quota = false;
+  const auto pre = preprovision(scenario, partitioning, config);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& groups =
+        partitioning.per_ms[static_cast<std::size_t>(m)].groups;
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+      double demand = 0.0;
+      for (const NodeId k : groups[s]) demand += scenario.demand_count(m, k);
+      if (demand > 0.0) {
+        EXPECT_EQ(pre.chosen[static_cast<std::size_t>(m)][s].size(),
+                  groups[s].size());
+      }
+    }
+  }
+}
+
+TEST(Preprovision, SelectionPrefersLowContribution) {
+  // When the quota forces a strict subset, selected hosts must be the
+  // lowest-contribution ones in their group.
+  const auto scenario = make_scenario(base_config(10, 50, 4200.0), 10);
+  const auto partitioning = initial_partition(scenario, {});
+  const auto pre = preprovision(scenario, partitioning);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& groups =
+        partitioning.per_ms[static_cast<std::size_t>(m)].groups;
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+      const auto& hosts = pre.chosen[static_cast<std::size_t>(m)][s];
+      if (hosts.empty() || hosts.size() == groups[s].size()) continue;
+      double worst_chosen = 0.0;
+      for (const NodeId k : hosts) {
+        worst_chosen = std::max(
+            worst_chosen, instance_contribution(scenario, m, groups[s], k));
+      }
+      // Every non-chosen node has contribution >= the best chosen one.
+      double best_unchosen = 1e300;
+      for (const NodeId k : groups[s]) {
+        if (std::find(hosts.begin(), hosts.end(), k) != hosts.end()) continue;
+        best_unchosen = std::min(
+            best_unchosen, instance_contribution(scenario, m, groups[s], k));
+      }
+      double best_chosen = 1e300;
+      for (const NodeId k : hosts) {
+        best_chosen = std::min(
+            best_chosen, instance_contribution(scenario, m, groups[s], k));
+      }
+      EXPECT_LE(best_chosen, best_unchosen + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace socl::core

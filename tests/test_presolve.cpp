@@ -1,0 +1,175 @@
+// Tests for the root presolve: every reduction must preserve the feasible
+// set exactly (checked against full solves on random models).
+#include "solver/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include "solver/mip.h"
+#include "util/rng.h"
+
+namespace socl::solver {
+namespace {
+
+TEST(Presolve, SingletonRowBecomesBound) {
+  Model model;
+  model.add_variable(0.0, 10.0, -1.0, false);
+  model.add_constraint({{0, 2.0}}, Sense::kLe, 6.0);  // x <= 3
+  const auto result = presolve(model);
+  ASSERT_FALSE(result.infeasible);
+  EXPECT_EQ(result.model.num_constraints(), 0u);
+  EXPECT_NEAR(result.model.variable(0).upper, 3.0, 1e-9);
+  EXPECT_EQ(result.rows_removed, 1u);
+}
+
+TEST(Presolve, NegativeCoefficientSingleton) {
+  Model model;
+  model.add_variable(0.0, 10.0, 1.0, false);
+  model.add_constraint({{0, -1.0}}, Sense::kLe, -4.0);  // -x <= -4 -> x >= 4
+  const auto result = presolve(model);
+  ASSERT_FALSE(result.infeasible);
+  EXPECT_NEAR(result.model.variable(0).lower, 4.0, 1e-9);
+}
+
+TEST(Presolve, EqualitySingletonFixesVariable) {
+  Model model;
+  model.add_variable(0.0, 10.0, 1.0, false);
+  model.add_constraint({{0, 2.0}}, Sense::kEq, 6.0);
+  const auto result = presolve(model);
+  ASSERT_FALSE(result.infeasible);
+  EXPECT_NEAR(result.model.variable(0).lower, 3.0, 1e-9);
+  EXPECT_NEAR(result.model.variable(0).upper, 3.0, 1e-9);
+}
+
+TEST(Presolve, RedundantRowDropped) {
+  Model model;
+  model.add_variable(0.0, 1.0, 1.0, false);
+  model.add_variable(0.0, 1.0, 1.0, false);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::kLe, 5.0);  // max 2 <= 5
+  const auto result = presolve(model);
+  EXPECT_EQ(result.model.num_constraints(), 0u);
+  EXPECT_EQ(result.rows_removed, 1u);
+}
+
+TEST(Presolve, ImpossibleRowProvesInfeasible) {
+  Model model;
+  model.add_variable(0.0, 1.0, 1.0, false);
+  model.add_variable(0.0, 1.0, 1.0, false);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::kGe, 3.0);  // max 2 < 3
+  const auto result = presolve(model);
+  EXPECT_TRUE(result.infeasible);
+}
+
+TEST(Presolve, IntegerBoundsRoundedInward) {
+  Model model;
+  model.add_variable(0.4, 3.6, 1.0, true);
+  const auto result = presolve(model);
+  ASSERT_FALSE(result.infeasible);
+  EXPECT_DOUBLE_EQ(result.model.variable(0).lower, 1.0);
+  EXPECT_DOUBLE_EQ(result.model.variable(0).upper, 3.0);
+}
+
+TEST(Presolve, IntegerWindowWithoutIntegerIsInfeasible) {
+  Model model;
+  model.add_variable(2.2, 2.8, 1.0, true);  // no integer in [2.2, 2.8]
+  const auto result = presolve(model);
+  EXPECT_TRUE(result.infeasible);
+}
+
+TEST(Presolve, CascadedSingletonsReachFixpoint) {
+  // Row 1 tightens x; the tightened x makes row 2 a singleton-effective
+  // redundancy across passes.
+  Model model;
+  model.add_variable(0.0, 10.0, 1.0, false);
+  model.add_variable(0.0, 10.0, 1.0, false);
+  model.add_constraint({{0, 1.0}}, Sense::kLe, 2.0);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::kLe, 12.0);  // redundant
+  const auto result = presolve(model);
+  ASSERT_FALSE(result.infeasible);
+  EXPECT_EQ(result.model.num_constraints(), 0u);
+  EXPECT_GE(result.passes, 2);
+}
+
+TEST(Presolve, PreservesLpOptimum) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Model model;
+    const int n = 5 + static_cast<int>(rng.index(4));
+    for (int j = 0; j < n; ++j) {
+      model.add_variable(0.0, rng.uniform(1.0, 5.0), rng.uniform(-2.0, 2.0),
+                         false);
+    }
+    for (int i = 0; i < 8; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.bernoulli(0.4)) terms.emplace_back(j, rng.uniform(0.2, 2.0));
+      }
+      if (terms.empty()) continue;
+      model.add_constraint(std::move(terms),
+                           rng.bernoulli(0.5) ? Sense::kLe : Sense::kGe,
+                           rng.uniform(1.0, 8.0));
+    }
+    const auto reduced = presolve(model);
+    const auto full = solve_lp(model);
+    if (reduced.infeasible) {
+      EXPECT_EQ(full.status, SolveStatus::kInfeasible) << "trial " << trial;
+      continue;
+    }
+    const auto thin = solve_lp(reduced.model);
+    ASSERT_EQ(full.status, thin.status) << "trial " << trial;
+    if (full.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(full.objective, thin.objective, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Presolve, PreservesMipOptimum) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    Model model;
+    const int n = 8;
+    for (int j = 0; j < n; ++j) model.add_binary(rng.uniform(-4.0, 4.0));
+    for (int i = 0; i < 5; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.bernoulli(0.5)) terms.emplace_back(j, rng.uniform(0.3, 1.5));
+      }
+      if (terms.empty()) continue;
+      model.add_constraint(std::move(terms),
+                           rng.bernoulli(0.3) ? Sense::kGe : Sense::kLe,
+                           rng.uniform(1.0, 4.0));
+    }
+    const auto reduced = presolve(model);
+    const auto full = solve_mip(model);
+    if (reduced.infeasible) {
+      EXPECT_EQ(full.status, SolveStatus::kInfeasible) << "trial " << trial;
+      continue;
+    }
+    const auto thin = solve_mip(reduced.model);
+    ASSERT_EQ(full.status, thin.status) << "trial " << trial;
+    if (full.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(full.objective, thin.objective, 1e-6) << "trial " << trial;
+      // The reduced model's solution must be feasible for the ORIGINAL.
+      EXPECT_TRUE(model.feasible(thin.x)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Presolve, ReducesTheSoclIlp) {
+  // The paper ILP carries singleton-free structure, but storage rows can be
+  // redundant when capacities dominate; presolve must at least not break it.
+  // (Coverage rows survive: they are the assignment core.)
+  Model model;
+  for (int j = 0; j < 6; ++j) model.add_binary(1.0);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::kGe, 1.0);
+  model.add_constraint({{2, 1.0}, {3, 1.0}}, Sense::kGe, 1.0);
+  model.add_constraint({{0, 1.0}, {2, 1.0}, {4, 1.0}}, Sense::kLe, 100.0);
+  const auto result = presolve(model);
+  ASSERT_FALSE(result.infeasible);
+  EXPECT_EQ(result.model.num_constraints(), 2u);  // storage row dropped
+  const auto solved = solve_mip(result.model);
+  EXPECT_EQ(solved.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solved.objective, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace socl::solver

@@ -1,0 +1,192 @@
+// Tests for the chain-DP router: optimality against brute force, Eq. (2)
+// term accounting, and failure handling.
+#include "core/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace socl::core {
+namespace {
+
+ScenarioConfig tiny_config(int nodes = 4, int users = 10) {
+  ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_users = users;
+  config.use_tiny_catalog = true;
+  return config;
+}
+
+/// Brute-force optimal completion time over all node combinations.
+double brute_force_best(const Scenario& scenario,
+                        const workload::UserRequest& request,
+                        const Placement& placement) {
+  const ChainRouter router(scenario);
+  const auto len = request.chain.size();
+  std::vector<std::vector<NodeId>> layers(len);
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    layers[pos] = placement.nodes_of(request.chain[pos]);
+    if (layers[pos].empty()) return std::numeric_limits<double>::infinity();
+  }
+  std::vector<std::size_t> pick(len, 0);
+  double best = std::numeric_limits<double>::infinity();
+  for (;;) {
+    std::vector<NodeId> nodes(len);
+    for (std::size_t pos = 0; pos < len; ++pos) {
+      nodes[pos] = layers[pos][pick[pos]];
+    }
+    best = std::min(best, router.completion_time(request, nodes));
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < len && ++pick[pos] == layers[pos].size()) {
+      pick[pos] = 0;
+      ++pos;
+    }
+    if (pos == len) break;
+  }
+  return best;
+}
+
+TEST(ChainRouter, SingleInstanceForcedRoute) {
+  const auto scenario = make_scenario(tiny_config(), 1);
+  Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    placement.deploy(m, 2);
+  }
+  const ChainRouter router(scenario);
+  for (const auto& request : scenario.requests()) {
+    const auto route = router.route(request, placement);
+    ASSERT_TRUE(route.has_value());
+    for (const NodeId k : route->nodes) EXPECT_EQ(k, 2);
+  }
+}
+
+TEST(ChainRouter, MissingInstanceYieldsNullopt) {
+  const auto scenario = make_scenario(tiny_config(), 2);
+  Placement placement(scenario);  // nothing deployed
+  const ChainRouter router(scenario);
+  EXPECT_FALSE(router.route(scenario.requests().front(), placement));
+  EXPECT_FALSE(router.route_all(placement).has_value());
+}
+
+TEST(ChainRouter, BreakdownSumsToTotal) {
+  const auto scenario = make_scenario(tiny_config(), 3);
+  Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) placement.deploy(m, k);
+  }
+  const ChainRouter router(scenario);
+  for (const auto& request : scenario.requests()) {
+    const auto route = router.route(request, placement);
+    ASSERT_TRUE(route.has_value());
+    EXPECT_NEAR(route->total(),
+                route->d_in + route->compute + route->transfer + route->d_out,
+                1e-12);
+    EXPECT_NEAR(route->total(),
+                router.completion_time(request, route->nodes), 1e-9);
+  }
+}
+
+TEST(ChainRouter, MatchesBruteForceOptimum) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto scenario = make_scenario(tiny_config(4, 12), seed);
+    Placement placement(scenario);
+    // Deploy a scattered subset: service m on nodes with (k + m) even, plus
+    // node 0 as a floor.
+    for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+      placement.deploy(m, 0);
+      for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+        if ((k + m) % 2 == 0) placement.deploy(m, k);
+      }
+    }
+    const ChainRouter router(scenario);
+    for (const auto& request : scenario.requests()) {
+      const auto route = router.route(request, placement);
+      ASSERT_TRUE(route.has_value());
+      const double expected = brute_force_best(scenario, request, placement);
+      EXPECT_NEAR(route->total(), expected, 1e-9)
+          << "seed " << seed << " user " << request.id;
+    }
+  }
+}
+
+TEST(ChainRouter, MorePlacementNeverHurts) {
+  // Adding instances can only keep or reduce the optimal completion time.
+  const auto scenario = make_scenario(tiny_config(5, 15), 9);
+  Placement sparse(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    sparse.deploy(m, 0);
+  }
+  Placement dense = sparse;
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) dense.deploy(m, k);
+  }
+  const ChainRouter router(scenario);
+  for (const auto& request : scenario.requests()) {
+    const auto a = router.route(request, sparse);
+    const auto b = router.route(request, dense);
+    ASSERT_TRUE(a && b);
+    EXPECT_LE(b->total(), a->total() + 1e-9);
+  }
+}
+
+TEST(ChainRouter, LocalDeploymentEliminatesDin) {
+  const auto scenario = make_scenario(tiny_config(), 4);
+  const auto& request = scenario.requests().front();
+  Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    placement.deploy(m, request.attach_node);
+  }
+  const ChainRouter router(scenario);
+  const auto route = router.route(request, placement);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_DOUBLE_EQ(route->d_in, 0.0);
+  EXPECT_DOUBLE_EQ(route->d_out, 0.0);
+  EXPECT_DOUBLE_EQ(route->transfer, 0.0);
+}
+
+TEST(ChainRouter, RouteAllConsistentWithPlacement) {
+  const auto scenario = make_scenario(tiny_config(5, 20), 5);
+  Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    placement.deploy(m, 1);
+    placement.deploy(m, 3);
+  }
+  const ChainRouter router(scenario);
+  const auto assignment = router.route_all(placement);
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_TRUE(assignment->consistent_with(scenario, placement));
+}
+
+// Property: the DP respects the d_out coupling — the reported total always
+// matches a recomputation from the chosen nodes.
+class RouterCouplingProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RouterCouplingProperty, TotalsSelfConsistent) {
+  ScenarioConfig config;
+  config.num_nodes = 6;
+  config.num_users = 15;
+  const auto scenario = make_scenario(config, GetParam());
+  Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (const NodeId k : scenario.demand_nodes(m)) placement.deploy(m, k);
+    if (placement.instance_count(m) == 0 &&
+        !scenario.demand_nodes(m).empty()) {
+      placement.deploy(m, 0);
+    }
+  }
+  const ChainRouter router(scenario);
+  for (const auto& request : scenario.requests()) {
+    const auto route = router.route(request, placement);
+    ASSERT_TRUE(route.has_value());
+    EXPECT_NEAR(route->total(),
+                router.completion_time(request, route->nodes), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterCouplingProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace socl::core

@@ -1,0 +1,130 @@
+// Tests for Scenario construction and the derived demand indices.
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace socl::core {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig config;
+  config.num_nodes = 6;
+  config.num_users = 20;
+  return config;
+}
+
+TEST(Scenario, FactoryProducesConsistentInstance) {
+  const auto scenario = make_scenario(small_config(), 1);
+  EXPECT_EQ(scenario.num_nodes(), 6);
+  EXPECT_EQ(scenario.num_users(), 20);
+  EXPECT_EQ(scenario.num_microservices(), 12);
+}
+
+TEST(Scenario, DeterministicInSeed) {
+  const auto a = make_scenario(small_config(), 7);
+  const auto b = make_scenario(small_config(), 7);
+  for (int h = 0; h < a.num_users(); ++h) {
+    EXPECT_EQ(a.request(h).attach_node, b.request(h).attach_node);
+    EXPECT_EQ(a.request(h).chain, b.request(h).chain);
+  }
+}
+
+TEST(Scenario, UsersAtNodePartitionsAllUsers) {
+  const auto scenario = make_scenario(small_config(), 2);
+  int total = 0;
+  for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+    for (const int h : scenario.users_at(k)) {
+      EXPECT_EQ(scenario.request(h).attach_node, k);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, scenario.num_users());
+}
+
+TEST(Scenario, DemandNodesMatchDemandCounts) {
+  const auto scenario = make_scenario(small_config(), 3);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& nodes = scenario.demand_nodes(m);
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      const bool in_list =
+          std::find(nodes.begin(), nodes.end(), k) != nodes.end();
+      EXPECT_EQ(in_list, scenario.demand_count(m, k) > 0);
+    }
+  }
+}
+
+TEST(Scenario, DemandCountsSumToChainMemberships) {
+  const auto scenario = make_scenario(small_config(), 4);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    int total = 0;
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      total += scenario.demand_count(m, k);
+    }
+    int expected = 0;
+    for (const auto& request : scenario.requests()) {
+      if (request.uses(m)) ++expected;
+    }
+    EXPECT_EQ(total, expected);
+  }
+}
+
+TEST(Scenario, RequestInboundDataConvention) {
+  const auto scenario = make_scenario(small_config(), 5);
+  for (const auto& request : scenario.requests()) {
+    EXPECT_DOUBLE_EQ(scenario.request_inbound_data(request, request.chain[0]),
+                     request.data_in);
+    if (request.chain.size() > 1) {
+      EXPECT_DOUBLE_EQ(
+          scenario.request_inbound_data(request, request.chain[1]),
+          request.edge_data[0]);
+    }
+    for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+      if (!request.uses(m)) {
+        EXPECT_DOUBLE_EQ(scenario.request_inbound_data(request, m), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Scenario, DemandDataAggregatesInboundVolumes) {
+  const auto scenario = make_scenario(small_config(), 6);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      double expected = 0.0;
+      for (const int h : scenario.users_at(k)) {
+        expected += scenario.request_inbound_data(scenario.request(h), m);
+      }
+      EXPECT_NEAR(scenario.demand_data(m, k), expected, 1e-9);
+    }
+  }
+}
+
+TEST(Scenario, SetRequestsReindexes) {
+  auto scenario = make_scenario(small_config(), 8);
+  auto requests = scenario.requests();
+  for (auto& request : requests) request.attach_node = 0;
+  scenario.set_requests(requests);
+  EXPECT_EQ(static_cast<int>(scenario.users_at(0).size()),
+            scenario.num_users());
+  for (NodeId k = 1; k < scenario.num_nodes(); ++k) {
+    EXPECT_TRUE(scenario.users_at(k).empty());
+  }
+}
+
+TEST(Scenario, RejectsBadLambda) {
+  ScenarioConfig config = small_config();
+  config.constants.lambda = 1.5;
+  EXPECT_THROW(make_scenario(config, 1), std::invalid_argument);
+}
+
+TEST(Scenario, TinyCatalogOption) {
+  ScenarioConfig config = small_config();
+  config.use_tiny_catalog = true;
+  const auto scenario = make_scenario(config, 1);
+  EXPECT_EQ(scenario.num_microservices(), 3);
+}
+
+}  // namespace
+}  // namespace socl::core

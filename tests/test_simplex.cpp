@@ -1,0 +1,224 @@
+// Correctness tests for the bounded-variable two-phase simplex.
+#include "solver/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace socl::solver {
+namespace {
+
+TEST(Simplex, TrivialBoundsOnlyProblem) {
+  Model model;
+  model.add_variable(0.0, 4.0, -1.0, false);  // min -x  ->  x = 4
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(result.objective, -4.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVariableLp) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6), obj 36.
+  Model model;
+  const int x = model.add_variable(0.0, 1e9, -3.0, false);
+  const int y = model.add_variable(0.0, 1e9, -5.0, false);
+  model.add_constraint({{x, 1.0}}, Sense::kLe, 4.0);
+  model.add_constraint({{y, 2.0}}, Sense::kLe, 12.0);
+  model.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLe, 18.0);
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(result.x[1], 6.0, 1e-7);
+  EXPECT_NEAR(result.objective, -36.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraintNeedsPhaseOne) {
+  // min x + y  s.t. x + y = 5, x <= 3  ->  any point on the segment; obj 5.
+  Model model;
+  const int x = model.add_variable(0.0, 3.0, 1.0, false);
+  const int y = model.add_variable(0.0, 1e9, 1.0, false);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 5.0);
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 5.0, 1e-7);
+  EXPECT_NEAR(result.x[0] + result.x[1], 5.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // min 2x + 3y  s.t. x + y >= 4, x >= 0, y >= 0  -> (4, 0), obj 8.
+  Model model;
+  const int x = model.add_variable(0.0, 1e9, 2.0, false);
+  const int y = model.add_variable(0.0, 1e9, 3.0, false);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 4.0);
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 8.0, 1e-7);
+  EXPECT_NEAR(result.x[0], 4.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Model model;
+  const int x = model.add_variable(0.0, 1.0, 1.0, false);
+  model.add_constraint({{x, 1.0}}, Sense::kGe, 2.0);  // x >= 2 but x <= 1
+  const auto result = solve_lp(model);
+  EXPECT_EQ(result.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Model model;
+  model.add_variable(0.0, std::numeric_limits<double>::infinity(), -1.0,
+                     false);
+  const auto result = solve_lp(model);
+  EXPECT_EQ(result.status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeLowerBoundsHandledByShift) {
+  // min x  s.t. x >= -5 (bound), x + 3 >= 0 is implied  -> x = -5.
+  Model model;
+  const int x = model.add_variable(-5.0, 10.0, 1.0, false);
+  model.add_constraint({{x, 1.0}}, Sense::kLe, 7.0);
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], -5.0, 1e-9);
+}
+
+TEST(Simplex, UpperBoundFlipsWithoutExtraRows) {
+  // max x + y with x,y in [0,1], x + y <= 1.5 -> obj 1.5.
+  Model model;
+  const int x = model.add_variable(0.0, 1.0, -1.0, false);
+  const int y = model.add_variable(0.0, 1.0, -1.0, false);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 1.5);
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(-result.objective, 1.5, 1e-7);
+}
+
+TEST(Simplex, FixedVariable) {
+  Model model;
+  const int x = model.add_variable(2.0, 2.0, 5.0, false);
+  const int y = model.add_variable(0.0, 10.0, 1.0, false);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 6.0);
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 4.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateConstraintsDoNotCycle) {
+  // Klee-Minty-flavoured degenerate instance.
+  Model model;
+  std::vector<int> vars;
+  for (int i = 0; i < 5; ++i) {
+    vars.push_back(model.add_variable(0.0, 1e9, -std::pow(2.0, 4 - i), false));
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < i; ++j) {
+      terms.emplace_back(vars[static_cast<std::size_t>(j)],
+                         std::pow(2.0, i - j + 1));
+    }
+    terms.emplace_back(vars[static_cast<std::size_t>(i)], 1.0);
+    model.add_constraint(std::move(terms), Sense::kLe, std::pow(5.0, i + 1));
+  }
+  const auto result = solve_lp(model);
+  EXPECT_EQ(result.status, SolveStatus::kOptimal);
+}
+
+TEST(Simplex, SolutionAlwaysFeasible) {
+  // Random LPs: whatever the optimum, the returned point must satisfy the
+  // model within tolerance.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    Model model;
+    const int n = 4 + static_cast<int>(rng.index(4));
+    for (int j = 0; j < n; ++j) {
+      model.add_variable(0.0, rng.uniform(0.5, 5.0),
+                         rng.uniform(-2.0, 2.0), false);
+    }
+    const int m = 3 + static_cast<int>(rng.index(4));
+    for (int i = 0; i < m; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.bernoulli(0.7)) {
+          terms.emplace_back(j, rng.uniform(0.1, 3.0));
+        }
+      }
+      if (terms.empty()) continue;
+      model.add_constraint(std::move(terms), Sense::kLe,
+                           rng.uniform(1.0, 10.0));
+    }
+    const auto result = solve_lp(model);
+    ASSERT_EQ(result.status, SolveStatus::kOptimal) << "trial " << trial;
+    EXPECT_LE(model.max_violation(result.x), 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Simplex, MatchesBruteForceOnBoxLps) {
+  // With only bound constraints the optimum is at a box corner determined by
+  // the cost signs — compare against that closed form.
+  util::Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    Model model;
+    const int n = 3 + static_cast<int>(rng.index(4));
+    double expected = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double lo = rng.uniform(-2.0, 0.0);
+      const double hi = lo + rng.uniform(0.5, 3.0);
+      const double c = rng.uniform(-1.0, 1.0);
+      model.add_variable(lo, hi, c, false);
+      expected += c * (c >= 0.0 ? lo : hi);
+    }
+    const auto result = solve_lp(model);
+    ASSERT_EQ(result.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(result.objective, expected, 1e-7) << "trial " << trial;
+  }
+}
+
+TEST(Simplex, EmptyModelIsOptimal) {
+  Model model;
+  const auto result = solve_lp(model);
+  EXPECT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_EQ(result.objective, 0.0);
+}
+
+TEST(SolveStatusNames, AllDistinct) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(SolveStatus::kTimeLimit), "time-limit");
+}
+
+// Property: LP relaxation objective is a valid lower bound for any feasible
+// 0/1 assignment of the same model (weak duality sanity).
+class SimplexBoundProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SimplexBoundProperty, RelaxationLowerBoundsBinaryPoints) {
+  util::Rng rng(GetParam());
+  Model model;
+  const int n = 6;
+  for (int j = 0; j < n; ++j) {
+    model.add_binary(rng.uniform(-3.0, 3.0));
+  }
+  std::vector<std::pair<int, double>> terms;
+  for (int j = 0; j < n; ++j) terms.emplace_back(j, rng.uniform(0.2, 2.0));
+  model.add_constraint(terms, Sense::kLe, rng.uniform(2.0, 5.0));
+
+  const auto lp = solve_lp(model);
+  ASSERT_EQ(lp.status, SolveStatus::kOptimal);
+
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(n, 0.0);
+    for (int j = 0; j < n; ++j) x[j] = (mask >> j) & 1 ? 1.0 : 0.0;
+    if (!model.feasible(x)) continue;
+    EXPECT_LE(lp.objective, model.objective_value(x) + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexBoundProperty,
+                         ::testing::Values(1u, 5u, 9u, 42u, 77u));
+
+}  // namespace
+}  // namespace socl::solver

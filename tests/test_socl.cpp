@@ -1,0 +1,134 @@
+// End-to-end tests for the SoCL framework facade.
+#include "core/socl.h"
+
+#include <gtest/gtest.h>
+
+namespace socl::core {
+namespace {
+
+ScenarioConfig base_config(int nodes = 8, int users = 30,
+                           double budget = 6500.0) {
+  ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_users = users;
+  config.constants.budget = budget;
+  return config;
+}
+
+TEST(SoCLTest, ProducesFeasibleSolution) {
+  const auto scenario = make_scenario(base_config(), 1);
+  const SoCL socl;
+  const auto solution = socl.solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+  EXPECT_TRUE(solution.evaluation.within_budget);
+  EXPECT_TRUE(solution.evaluation.storage_ok);
+  EXPECT_TRUE(solution.assignment.has_value());
+  EXPECT_GT(solution.runtime_seconds, 0.0);
+}
+
+TEST(SoCLTest, AssignmentConsistentWithPlacement) {
+  const auto scenario = make_scenario(base_config(), 2);
+  const auto solution = SoCL().solve(scenario);
+  ASSERT_TRUE(solution.assignment.has_value());
+  EXPECT_TRUE(
+      solution.assignment->consistent_with(scenario, solution.placement));
+}
+
+TEST(SoCLTest, DeterministicAcrossRuns) {
+  const auto scenario = make_scenario(base_config(), 3);
+  const auto a = SoCL().solve(scenario);
+  const auto b = SoCL().solve(scenario);
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_NEAR(a.evaluation.objective, b.evaluation.objective, 1e-9);
+}
+
+TEST(SoCLTest, RespectsTighterBudgets) {
+  const auto loose = make_scenario(base_config(8, 30, 8000.0), 4);
+  const auto tight = make_scenario(base_config(8, 30, 5000.0), 4);
+  const auto a = SoCL().solve(loose);
+  const auto b = SoCL().solve(tight);
+  EXPECT_LE(a.evaluation.deployment_cost, 8000.0 + 1e-6);
+  EXPECT_LE(b.evaluation.deployment_cost, 5000.0 + 1e-6);
+}
+
+TEST(SoCLTest, MoreUsersRaiseObjective) {
+  const auto small = make_scenario(base_config(8, 20), 5);
+  const auto large = make_scenario(base_config(8, 60), 5);
+  const auto a = SoCL().solve(small);
+  const auto b = SoCL().solve(large);
+  EXPECT_LT(a.evaluation.objective, b.evaluation.objective);
+}
+
+TEST(SoCLTest, AblationWithoutPartitionStillFeasible) {
+  const auto scenario = make_scenario(base_config(), 6);
+  SoCLParams params;
+  params.use_partition = false;
+  const auto solution = SoCL(params).solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+  EXPECT_TRUE(solution.evaluation.within_budget);
+}
+
+TEST(SoCLTest, AblationWithoutPreprovisionStillFeasible) {
+  const auto scenario = make_scenario(base_config(), 7);
+  SoCLParams params;
+  params.use_preprovision = false;
+  const auto solution = SoCL(params).solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+  EXPECT_TRUE(solution.evaluation.within_budget);
+}
+
+TEST(SoCLTest, AblationWithoutParallelStageStillFeasible) {
+  const auto scenario = make_scenario(base_config(), 8);
+  SoCLParams params;
+  params.combination.use_parallel_stage = false;
+  const auto solution = SoCL(params).solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+}
+
+TEST(SoCLTest, SingleGroupPartitioningCoversDemand) {
+  const auto scenario = make_scenario(base_config(), 9);
+  const auto partitioning = single_group_partitioning(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    const auto& groups = partitioning.per_ms[static_cast<std::size_t>(m)];
+    if (scenario.demand_nodes(m).empty()) {
+      EXPECT_TRUE(groups.groups.empty());
+    } else {
+      ASSERT_EQ(groups.groups.size(), 1u);
+      EXPECT_EQ(groups.groups[0].size(), scenario.demand_nodes(m).size());
+    }
+  }
+}
+
+TEST(SoCLTest, ScalesToThirtyNodes) {
+  const auto scenario = make_scenario(base_config(30, 60, 7000.0), 10);
+  const auto solution = SoCL().solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+  EXPECT_TRUE(solution.evaluation.within_budget);
+  EXPECT_LT(solution.runtime_seconds, 30.0);
+}
+
+// Sweep the headline knobs: SoCL must stay feasible across λ, ω, ξ.
+class SoCLParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(SoCLParamSweep, FeasibleAcrossKnobs) {
+  const auto [lambda, omega, xi_q] = GetParam();
+  ScenarioConfig config = base_config();
+  config.constants.lambda = lambda;
+  const auto scenario = make_scenario(config, 11);
+  SoCLParams params;
+  params.combination.omega = omega;
+  params.partition.xi_quantile = xi_q;
+  const auto solution = SoCL(params).solve(scenario);
+  EXPECT_TRUE(solution.evaluation.routable);
+  EXPECT_TRUE(solution.evaluation.within_budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, SoCLParamSweep,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(0.1, 0.3),
+                       ::testing::Values(0.1, 0.5)));
+
+}  // namespace
+}  // namespace socl::core

@@ -1,0 +1,276 @@
+// Stress and structure tests for the LP/MIP engine beyond test_simplex /
+// test_mip: assignment polytopes (integral relaxations), set-cover MIPs
+// checked against brute force, transportation problems with known optima,
+// and scaling/robustness properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/mip.h"
+#include "util/rng.h"
+
+namespace socl::solver {
+namespace {
+
+/// n x n assignment problem: min Σ c_ij x_ij, rows and columns sum to 1.
+/// The LP relaxation of the assignment polytope is integral, so the MIP
+/// must finish at the root and match the brute-force permutation optimum.
+TEST(SolverStress, AssignmentPolytopeIntegral) {
+  util::Rng rng(3);
+  const int n = 5;
+  Model model;
+  std::vector<std::vector<int>> var(n, std::vector<int>(n));
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      cost[i][j] = rng.uniform(1.0, 9.0);
+      var[i][j] = model.add_binary(cost[i][j]);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> row, col;
+    for (int j = 0; j < n; ++j) {
+      row.emplace_back(var[i][j], 1.0);
+      col.emplace_back(var[j][i], 1.0);
+    }
+    model.add_constraint(row, Sense::kEq, 1.0);
+    model.add_constraint(col, Sense::kEq, 1.0);
+  }
+
+  // Brute force over permutations.
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  double best = 1e18;
+  do {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += cost[i][perm[i]];
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  const auto result = solve_mip(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, best, 1e-6);
+  EXPECT_LE(result.nodes_explored, 5u);  // near-integral relaxation
+}
+
+/// Set cover: min Σ c_s x_s with every element covered. Brute-force check.
+TEST(SolverStress, SetCoverMatchesBruteForce) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int elements = 6;
+    const int sets = 8;
+    Model model;
+    std::vector<std::uint64_t> membership(sets, 0);
+    std::vector<double> cost(sets);
+    for (int s = 0; s < sets; ++s) {
+      cost[s] = rng.uniform(1.0, 5.0);
+      model.add_binary(cost[s]);
+      for (int e = 0; e < elements; ++e) {
+        if (rng.bernoulli(0.4)) membership[s] |= 1ULL << e;
+      }
+    }
+    bool coverable = true;
+    for (int e = 0; e < elements; ++e) {
+      std::vector<std::pair<int, double>> terms;
+      for (int s = 0; s < sets; ++s) {
+        if (membership[s] & (1ULL << e)) terms.emplace_back(s, 1.0);
+      }
+      if (terms.empty()) {
+        coverable = false;
+        break;
+      }
+      model.add_constraint(std::move(terms), Sense::kGe, 1.0);
+    }
+    if (!coverable) continue;
+
+    double best = 1e18;
+    for (int mask = 0; mask < (1 << sets); ++mask) {
+      std::uint64_t covered = 0;
+      double total = 0.0;
+      for (int s = 0; s < sets; ++s) {
+        if (mask & (1 << s)) {
+          covered |= membership[s];
+          total += cost[s];
+        }
+      }
+      if (covered == (1ULL << elements) - 1) best = std::min(best, total);
+    }
+
+    const auto result = solve_mip(model);
+    if (best >= 1e18) {
+      EXPECT_EQ(result.status, SolveStatus::kInfeasible);
+    } else {
+      ASSERT_EQ(result.status, SolveStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(result.objective, best, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+/// Balanced transportation problem with continuous variables: optimum
+/// equals the north-west-corner-improvable closed form checked via the LP.
+TEST(SolverStress, TransportationProblemFeasibleAndTight) {
+  // 2 suppliers (supply 30, 20), 3 consumers (demand 10, 25, 15).
+  Model model;
+  const double cost[2][3] = {{2.0, 3.0, 1.0}, {5.0, 4.0, 8.0}};
+  int var[2][3];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      var[i][j] = model.add_variable(0.0, 1e9, cost[i][j], false);
+    }
+  }
+  const double supply[2] = {30.0, 20.0};
+  const double demand[3] = {10.0, 25.0, 15.0};
+  for (int i = 0; i < 2; ++i) {
+    model.add_constraint({{var[i][0], 1.0}, {var[i][1], 1.0},
+                          {var[i][2], 1.0}},
+                         Sense::kLe, supply[i]);
+  }
+  for (int j = 0; j < 3; ++j) {
+    model.add_constraint({{var[0][j], 1.0}, {var[1][j], 1.0}}, Sense::kGe,
+                         demand[j]);
+  }
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  // Optimal plan: s0 -> c3 15 (1), s0 -> c1 10 (2), s0 -> c2 5 (3),
+  // s1 -> c2 20 (4): 15 + 20 + 15 + 80 = 130.
+  EXPECT_NEAR(result.objective, 130.0, 1e-6);
+}
+
+TEST(SolverStress, LargeSparseLpSolves) {
+  util::Rng rng(11);
+  Model model;
+  const int n = 300;
+  for (int j = 0; j < n; ++j) {
+    model.add_variable(0.0, 10.0, rng.uniform(-1.0, 1.0), false);
+  }
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.05)) terms.emplace_back(j, rng.uniform(0.1, 1.0));
+    }
+    if (!terms.empty()) {
+      model.add_constraint(std::move(terms), Sense::kLe,
+                           rng.uniform(5.0, 20.0));
+    }
+  }
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_LE(model.max_violation(result.x), 1e-6);
+}
+
+TEST(SolverStress, EqualityChainNeedsMultipleArtificials) {
+  // x1 + x2 = 4; x2 + x3 = 6; x3 + x4 = 8; min x1+x2+x3+x4.
+  Model model;
+  for (int j = 0; j < 4; ++j) model.add_variable(0.0, 10.0, 1.0, false);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, Sense::kEq, 4.0);
+  model.add_constraint({{1, 1.0}, {2, 1.0}}, Sense::kEq, 6.0);
+  model.add_constraint({{2, 1.0}, {3, 1.0}}, Sense::kEq, 8.0);
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  // x2=4,x3=2,x4=6,x1=0 -> 12; or x2=0..: min is 12? Check feasibility only
+  // via violation and verify objective via weak bound: any feasible point
+  // has x1+x2=4 and x3+x4=8 -> total = 12 + (x2 appears twice?) Actually
+  // x1+x2+x3+x4 = (x1+x2) + (x3+x4) = 4 + 8 = 12 exactly.
+  EXPECT_NEAR(result.objective, 12.0, 1e-7);
+  EXPECT_LE(model.max_violation(result.x), 1e-7);
+}
+
+TEST(SolverStress, RedundantConstraintsHandled) {
+  Model model;
+  model.add_variable(0.0, 5.0, -1.0, false);
+  model.add_constraint({{0, 1.0}}, Sense::kLe, 3.0);
+  model.add_constraint({{0, 1.0}}, Sense::kLe, 3.0);  // duplicate
+  model.add_constraint({{0, 2.0}}, Sense::kLe, 6.0);  // scaled duplicate
+  model.add_constraint({{0, 1.0}}, Sense::kEq, 3.0);  // now forces x = 3
+  const auto result = solve_lp(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-7);
+}
+
+TEST(SolverStress, MipDepthStress) {
+  // A knapsack crafted to need branching (irrational-ish ratios).
+  util::Rng rng(13);
+  Model model;
+  std::vector<std::pair<int, double>> weights;
+  for (int j = 0; j < 18; ++j) {
+    const double w = rng.uniform(3.0, 9.0);
+    const double v = w + rng.uniform(-0.5, 0.5);
+    model.add_binary(-v);
+    weights.emplace_back(j, w);
+  }
+  model.add_constraint(weights, Sense::kLe, 40.0);
+  MipOptions options;
+  options.time_limit_s = 30.0;
+  const auto result = solve_mip(model, options);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(model.feasible(result.x));
+  EXPECT_GT(result.nodes_explored, 1u);  // branching actually happened
+}
+
+TEST(SolverStress, WarmStartPrunesSearch) {
+  util::Rng rng(17);
+  Model model;
+  std::vector<std::pair<int, double>> weights;
+  std::vector<double> greedy(24, 0.0);
+  double load = 0.0;
+  for (int j = 0; j < 24; ++j) {
+    const double w = rng.uniform(2.0, 8.0);
+    model.add_binary(-rng.uniform(1.0, 10.0));
+    weights.emplace_back(j, w);
+    if (load + w <= 50.0) {
+      greedy[static_cast<std::size_t>(j)] = 1.0;
+      load += w;
+    }
+  }
+  model.add_constraint(weights, Sense::kLe, 50.0);
+
+  MipOptions cold;
+  const auto cold_result = solve_mip(model, cold);
+  MipOptions warm;
+  warm.initial_solution = greedy;
+  const auto warm_result = solve_mip(model, warm);
+  ASSERT_EQ(cold_result.status, SolveStatus::kOptimal);
+  ASSERT_EQ(warm_result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(cold_result.objective, warm_result.objective, 1e-6);
+  EXPECT_LE(warm_result.nodes_explored, cold_result.nodes_explored + 2);
+}
+
+// Random mixed models: LP bound <= MIP optimum; MIP solution feasible.
+class MixedModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MixedModelProperty, BoundsAndFeasibility) {
+  util::Rng rng(GetParam());
+  Model model;
+  const int n = 10;
+  for (int j = 0; j < n; ++j) {
+    if (j % 2 == 0) {
+      model.add_binary(rng.uniform(-4.0, 4.0));
+    } else {
+      model.add_variable(0.0, rng.uniform(1.0, 3.0), rng.uniform(-2.0, 2.0),
+                         false);
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.5)) terms.emplace_back(j, rng.uniform(0.2, 1.5));
+    }
+    if (!terms.empty()) {
+      model.add_constraint(std::move(terms), Sense::kLe,
+                           rng.uniform(2.0, 6.0));
+    }
+  }
+  const auto lp = solve_lp(model);
+  const auto mip = solve_mip(model);
+  ASSERT_EQ(lp.status, SolveStatus::kOptimal);
+  ASSERT_EQ(mip.status, SolveStatus::kOptimal);
+  EXPECT_LE(lp.objective, mip.objective + 1e-6);
+  EXPECT_TRUE(model.feasible(mip.x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedModelProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u));
+
+}  // namespace
+}  // namespace socl::solver

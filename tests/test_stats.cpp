@@ -1,0 +1,191 @@
+// Tests for streaming statistics, percentiles, histograms and similarity.
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace socl::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(4.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 20 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Percentile, MedianInterpolatesEvenCount) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> values{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 5.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Jaccard, IdenticalSetsAreOne) {
+  std::unordered_set<std::uint64_t> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsAreZero) {
+  std::unordered_set<std::uint64_t> a{1, 2}, b{3, 4};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  std::unordered_set<std::uint64_t> a{1, 2, 3}, b{2, 3, 4};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 0.5);
+}
+
+TEST(Jaccard, BothEmptyConventionOne) {
+  std::unordered_set<std::uint64_t> a, b;
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 1.0);
+}
+
+TEST(Cosine, ParallelVectorsAreOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0}, b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(Cosine, OrthogonalVectorsAreZero) {
+  const std::vector<double> a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Cosine, ZeroVectorYieldsZero) {
+  const std::vector<double> a{0.0, 0.0}, b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Cosine, SizeMismatchThrows) {
+  const std::vector<double> a{1.0}, b{1.0, 2.0};
+  EXPECT_THROW(cosine_similarity(a, b), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0}, b{10.0, 20.0, 30.0};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0}, b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, NoVarianceYieldsZero) {
+  const std::vector<double> a{1.0, 1.0, 1.0}, b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(a, b), 0.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(1.0);   // bin 0
+  hist.add(9.5);   // bin 4
+  hist.add(-3.0);  // clamped to bin 0
+  hist.add(42.0);  // clamped to bin 4
+  EXPECT_EQ(hist.bin_count(0), 2u);
+  EXPECT_EQ(hist.bin_count(4), 2u);
+  EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram hist(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(hist.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_low(4), 8.0);
+}
+
+TEST(HistogramTest, RejectsDegenerate) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(HistogramTest, RenderMentionsCounts) {
+  Histogram hist(0.0, 2.0, 2);
+  hist.add(0.5);
+  hist.add(1.5);
+  hist.add(1.6);
+  const std::string text = hist.render();
+  EXPECT_NE(text.find("1"), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+// Percentile is monotone in p — property sweep across random inputs.
+class PercentileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileProperty, MonotoneInP) {
+  std::vector<double> values;
+  for (int i = 0; i < 37; ++i) {
+    values.push_back(std::fmod(static_cast<double>(i * GetParam() % 101), 17.0));
+  }
+  double prev = percentile(values, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile(values, p);
+    ASSERT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, PercentileProperty,
+                         ::testing::Values(3, 7, 11, 13, 29));
+
+}  // namespace
+}  // namespace socl::util

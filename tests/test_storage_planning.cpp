@@ -1,0 +1,161 @@
+// Tests for Algorithm 5: storage planning with the FuzzyAHP local demand
+// factor and migrations to fastest-reachable nodes.
+#include "core/storage_planning.h"
+
+#include <gtest/gtest.h>
+
+namespace socl::core {
+namespace {
+
+ScenarioConfig base_config(int nodes = 6, int users = 25) {
+  ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_users = users;
+  return config;
+}
+
+TEST(OrderFactor, WeightsFirstHigherThanLast) {
+  const auto scenario = make_scenario(base_config(), 1);
+  // Find a node+ms where the service is the chain head for some user.
+  bool checked = false;
+  for (const auto& request : scenario.requests()) {
+    const MsId head = request.chain.front();
+    const double r = order_factor(scenario, head, request.attach_node);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LE(r, 3.0);
+    checked = true;
+    break;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(OrderFactor, ZeroWithoutLocalUsers) {
+  const auto scenario = make_scenario(base_config(), 2);
+  // A microservice no local user requests at some node scores 0.
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      if (scenario.demand_count(m, k) == 0) {
+        EXPECT_DOUBLE_EQ(order_factor(scenario, m, k), 0.0);
+        return;
+      }
+    }
+  }
+}
+
+TEST(StoragePlan, FeasiblePlacementIsUntouched) {
+  const auto scenario = make_scenario(base_config(), 3);
+  Placement placement(scenario);
+  placement.deploy(0, 0);
+  placement.deploy(1, 1);
+  const Placement before = placement;
+  const auto result = plan_storage(scenario, placement);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.migrations.empty());
+  EXPECT_EQ(placement, before);
+}
+
+TEST(StoragePlan, RelievesOverloadedNode) {
+  const auto scenario = make_scenario(base_config(), 4);
+  Placement placement(scenario);
+  // Overload node 0 far past its 4-8 unit capacity.
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    placement.deploy(m, 0);
+  }
+  const auto result = plan_storage(scenario, placement);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_FALSE(result.migrations.empty());
+  EXPECT_TRUE(placement.storage_feasible(scenario));
+}
+
+TEST(StoragePlan, PreservesInstanceCounts) {
+  const auto scenario = make_scenario(base_config(), 5);
+  Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    placement.deploy(m, 0);
+    placement.deploy(m, 1);
+  }
+  std::vector<int> before;
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    before.push_back(placement.instance_count(m));
+  }
+  plan_storage(scenario, placement);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    EXPECT_EQ(placement.instance_count(m),
+              before[static_cast<std::size_t>(m)])
+        << "migration must move, not delete";
+  }
+}
+
+TEST(StoragePlan, MigrationsNeverDuplicateInstances) {
+  const auto scenario = make_scenario(base_config(), 6);
+  Placement placement(scenario);
+  for (MsId m = 0; m < 6; ++m) {
+    placement.deploy(m, 0);
+    placement.deploy(m, 2);
+  }
+  const auto result = plan_storage(scenario, placement);
+  for (const auto& migration : result.migrations) {
+    EXPECT_TRUE(placement.deployed(migration.service, migration.to) ||
+                // a later migration may have moved it again
+                !placement.deployed(migration.service, migration.from));
+  }
+}
+
+TEST(StoragePlan, ReportsInfeasibleWhenAggregateStorageShort) {
+  // Force impossibility: deploy everything everywhere so total footprint
+  // exceeds total capacity.
+  ScenarioConfig config = base_config(4, 20);
+  const auto scenario = make_scenario(config, 7);
+  Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      placement.deploy(m, k);
+    }
+  }
+  // 12 services x ~1.2 units > 4-8 units per node.
+  const auto result = plan_storage(scenario, placement);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(LocalDemandFactors, ParallelToDeployedList) {
+  const auto scenario = make_scenario(base_config(), 8);
+  Placement placement(scenario);
+  std::vector<MsId> deployed{0, 3, 5};
+  for (const MsId m : deployed) placement.deploy(m, 0);
+  const auto rho = local_demand_factors(scenario, placement, 0, deployed);
+  ASSERT_EQ(rho.size(), deployed.size());
+  for (double r : rho) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(LocalDemandFactors, DemandDominatesRanking) {
+  // A service with many local users should outrank one with none.
+  const auto scenario = make_scenario(base_config(6, 60), 9);
+  NodeId busiest = 0;
+  std::size_t most = 0;
+  for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+    if (scenario.users_at(k).size() > most) {
+      most = scenario.users_at(k).size();
+      busiest = k;
+    }
+  }
+  MsId popular = workload::kInvalidMs, unused = workload::kInvalidMs;
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    if (scenario.demand_count(m, busiest) > 3) popular = m;
+    if (scenario.demand_count(m, busiest) == 0) unused = m;
+  }
+  if (popular == workload::kInvalidMs || unused == workload::kInvalidMs) {
+    GTEST_SKIP() << "scenario lacks contrast at the busiest node";
+  }
+  Placement placement(scenario);
+  placement.deploy(popular, busiest);
+  placement.deploy(unused, busiest);
+  const auto rho = local_demand_factors(scenario, placement, busiest,
+                                        {popular, unused});
+  EXPECT_GT(rho[0], rho[1]);
+}
+
+}  // namespace
+}  // namespace socl::core

@@ -1,0 +1,84 @@
+// Tests for the worker pool used by the parallel combination stage.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace socl::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 17) {
+                                     throw std::runtime_error("bad index");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(3);
+  std::vector<long long> parts(1000, 0);
+  pool.parallel_for(parts.size(), [&](std::size_t i) {
+    parts[i] = static_cast<long long>(i);
+  });
+  const long long total = std::accumulate(parts.begin(), parts.end(), 0LL);
+  EXPECT_EQ(total, 999LL * 1000 / 2);
+}
+
+TEST(ThreadPool, SingleWorkerStillParallelFor) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(64, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace socl::util

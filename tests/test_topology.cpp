@@ -1,0 +1,138 @@
+// Tests for the geometric topology generator (paper Section V-A setup).
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/shortest_path.h"
+
+namespace socl::net {
+namespace {
+
+TEST(Topology, GeneratesRequestedNodeCount) {
+  const auto net = make_topology(12, 1);
+  EXPECT_EQ(net.num_nodes(), 12u);
+}
+
+TEST(Topology, AlwaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (int n : {3, 5, 10, 20, 30}) {
+      const auto net = make_topology(n, seed);
+      EXPECT_TRUE(net.connected()) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Topology, DeterministicInSeed) {
+  const auto a = make_topology(10, 7);
+  const auto b = make_topology(10, 7);
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (std::size_t l = 0; l < a.num_links(); ++l) {
+    EXPECT_DOUBLE_EQ(a.link(static_cast<LinkId>(l)).rate_gbps,
+                     b.link(static_cast<LinkId>(l)).rate_gbps);
+  }
+  for (std::size_t k = 0; k < a.num_nodes(); ++k) {
+    EXPECT_DOUBLE_EQ(a.node(static_cast<NodeId>(k)).x_m,
+                     b.node(static_cast<NodeId>(k)).x_m);
+  }
+}
+
+TEST(Topology, DifferentSeedsDiffer) {
+  const auto a = make_topology(10, 1);
+  const auto b = make_topology(10, 2);
+  bool any_diff = a.num_links() != b.num_links();
+  for (std::size_t k = 0; !any_diff && k < a.num_nodes(); ++k) {
+    any_diff = a.node(static_cast<NodeId>(k)).x_m !=
+               b.node(static_cast<NodeId>(k)).x_m;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Topology, NodeAttributesWithinConfiguredRanges) {
+  TopologyConfig config;
+  config.num_nodes = 15;
+  const auto net = make_topology(config, 3);
+  for (std::size_t k = 0; k < net.num_nodes(); ++k) {
+    const auto& node = net.node(static_cast<NodeId>(k));
+    EXPECT_GE(node.compute_gflops, config.compute_min_gflops);
+    EXPECT_LE(node.compute_gflops, config.compute_max_gflops);
+    EXPECT_GE(node.storage_units, config.storage_min_units);
+    EXPECT_LE(node.storage_units, config.storage_max_units);
+    EXPECT_LE(std::hypot(node.x_m, node.y_m), config.radius_m + 1e-9);
+  }
+}
+
+TEST(Topology, LinkRatesInPlausibleBand) {
+  // Paper band is [20, 80] GB/s; the Shannon calibration should land most
+  // neighbour links in a loose envelope around it.
+  const auto net = make_topology(20, 5);
+  ASSERT_GT(net.num_links(), 0u);
+  for (std::size_t l = 0; l < net.num_links(); ++l) {
+    const double rate = net.link(static_cast<LinkId>(l)).rate_gbps;
+    EXPECT_GT(rate, 1.0);
+    EXPECT_LT(rate, 130.0);
+  }
+}
+
+TEST(Topology, MinimumDegreeMatchesKNearest) {
+  TopologyConfig config;
+  config.num_nodes = 12;
+  config.k_nearest = 3;
+  const auto net = make_topology(config, 9);
+  for (std::size_t k = 0; k < net.num_nodes(); ++k) {
+    EXPECT_GE(net.degree(static_cast<NodeId>(k)), 3u);
+  }
+}
+
+TEST(Topology, SingleNodeNetwork) {
+  const auto net = make_topology(1, 4);
+  EXPECT_EQ(net.num_nodes(), 1u);
+  EXPECT_EQ(net.num_links(), 0u);
+  EXPECT_TRUE(net.connected());
+}
+
+TEST(Topology, RejectsNonPositiveCount) {
+  EXPECT_THROW(make_topology(0, 1), std::invalid_argument);
+  EXPECT_THROW(make_topology(-3, 1), std::invalid_argument);
+}
+
+TEST(Topology, AllPairsReachableThroughPaths) {
+  const auto net = make_topology(25, 11);
+  const ShortestPaths sp(net);
+  for (std::size_t a = 0; a < net.num_nodes(); ++a) {
+    for (std::size_t b = 0; b < net.num_nodes(); ++b) {
+      EXPECT_TRUE(sp.reachable(static_cast<NodeId>(a),
+                               static_cast<NodeId>(b)));
+    }
+  }
+}
+
+// Property sweep across sizes: generated topologies are connected with sane
+// separation.
+class TopologyProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(TopologyProperty, ConnectedAndSeparated) {
+  const auto [n, seed] = GetParam();
+  TopologyConfig config;
+  config.num_nodes = n;
+  const auto net = make_topology(config, seed);
+  EXPECT_TRUE(net.connected());
+  // No two nodes co-located.
+  for (std::size_t a = 0; a < net.num_nodes(); ++a) {
+    for (std::size_t b = a + 1; b < net.num_nodes(); ++b) {
+      const auto& na = net.node(static_cast<NodeId>(a));
+      const auto& nb = net.node(static_cast<NodeId>(b));
+      EXPECT_GT(std::hypot(na.x_m - nb.x_m, na.y_m - nb.y_m), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopologyProperty,
+    ::testing::Combine(::testing::Values(5, 8, 10, 16, 30),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace socl::net

@@ -1,0 +1,151 @@
+// Tests for the ring / grid / scale-free topology families.
+#include "net/topology_families.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/shortest_path.h"
+
+namespace socl::net {
+namespace {
+
+TopologyConfig config_for(int n) {
+  TopologyConfig config;
+  config.num_nodes = n;
+  return config;
+}
+
+TEST(Ring, PureRingDegrees) {
+  const auto net = make_ring_topology(config_for(8), 1, /*chord_every=*/0);
+  EXPECT_EQ(net.num_nodes(), 8u);
+  EXPECT_EQ(net.num_links(), 8u);
+  for (NodeId k = 0; k < 8; ++k) EXPECT_EQ(net.degree(k), 2u);
+  EXPECT_TRUE(net.connected());
+}
+
+TEST(Ring, ChordsRaiseDegreeAndShortenPaths) {
+  const auto pure = make_ring_topology(config_for(16), 1, 0);
+  const auto chorded = make_ring_topology(config_for(16), 1, 4);
+  EXPECT_GT(chorded.num_links(), pure.num_links());
+  const ShortestPaths sp_pure(pure);
+  const ShortestPaths sp_chorded(chorded);
+  EXPECT_LT(sp_chorded.hops(0, 8), sp_pure.hops(0, 8));
+}
+
+TEST(Ring, SingleNode) {
+  const auto net = make_ring_topology(config_for(1), 1);
+  EXPECT_EQ(net.num_links(), 0u);
+  EXPECT_TRUE(net.connected());
+}
+
+TEST(Grid, FourNeighbourStructure) {
+  const auto net = make_grid_topology(config_for(9), 1);  // 3x3
+  EXPECT_EQ(net.num_nodes(), 9u);
+  EXPECT_EQ(net.num_links(), 12u);  // 2*3*2 horizontal+vertical
+  EXPECT_EQ(net.degree(4), 4u);     // centre
+  EXPECT_EQ(net.degree(0), 2u);     // corner
+  EXPECT_TRUE(net.connected());
+}
+
+TEST(Grid, PartialLastRowStaysConnected) {
+  const auto net = make_grid_topology(config_for(7), 1);  // 3x3 minus 2
+  EXPECT_EQ(net.num_nodes(), 7u);
+  EXPECT_TRUE(net.connected());
+}
+
+TEST(ScaleFree, ConnectedWithHubs) {
+  const auto net = make_scale_free_topology(config_for(40), 3, 2);
+  EXPECT_TRUE(net.connected());
+  std::size_t max_degree = 0;
+  for (NodeId k = 0; k < 40; ++k) {
+    max_degree = std::max(max_degree, net.degree(k));
+  }
+  // Preferential attachment should grow hubs well above the mean degree.
+  EXPECT_GE(max_degree, 6u);
+}
+
+TEST(ScaleFree, EdgesPerNodeControlsDensity) {
+  const auto sparse = make_scale_free_topology(config_for(30), 3, 1);
+  const auto denser = make_scale_free_topology(config_for(30), 3, 3);
+  EXPECT_LT(sparse.num_links(), denser.num_links());
+}
+
+TEST(ScaleFree, RejectsBadArgs) {
+  EXPECT_THROW(make_scale_free_topology(config_for(0), 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_scale_free_topology(config_for(5), 1, 0),
+               std::invalid_argument);
+}
+
+TEST(FamilyDispatcher, AllFamiliesProduceConnectedNetworks) {
+  for (const auto family :
+       {TopologyFamily::kGeometric, TopologyFamily::kRing,
+        TopologyFamily::kGrid, TopologyFamily::kScaleFree}) {
+    const auto net = make_family_topology(family, config_for(12), 7);
+    EXPECT_EQ(net.num_nodes(), 12u) << to_string(family);
+    EXPECT_TRUE(net.connected()) << to_string(family);
+  }
+}
+
+TEST(FamilyDispatcher, NamesAreDistinct) {
+  EXPECT_STREQ(to_string(TopologyFamily::kGeometric), "geometric");
+  EXPECT_STREQ(to_string(TopologyFamily::kRing), "ring");
+  EXPECT_STREQ(to_string(TopologyFamily::kGrid), "grid");
+  EXPECT_STREQ(to_string(TopologyFamily::kScaleFree), "scale-free");
+}
+
+TEST(Families, AttributeRangesShared) {
+  const auto config = config_for(10);
+  for (const auto family :
+       {TopologyFamily::kRing, TopologyFamily::kGrid,
+        TopologyFamily::kScaleFree}) {
+    const auto net = make_family_topology(family, config, 11);
+    for (NodeId k = 0; k < 10; ++k) {
+      const auto& node = net.node(k);
+      EXPECT_GE(node.compute_gflops, config.compute_min_gflops);
+      EXPECT_LE(node.compute_gflops, config.compute_max_gflops);
+      EXPECT_GE(node.storage_units, config.storage_min_units);
+      EXPECT_LE(node.storage_units, config.storage_max_units);
+    }
+  }
+}
+
+TEST(Families, DeterministicInSeed) {
+  for (const auto family :
+       {TopologyFamily::kRing, TopologyFamily::kGrid,
+        TopologyFamily::kScaleFree}) {
+    const auto a = make_family_topology(family, config_for(14), 21);
+    const auto b = make_family_topology(family, config_for(14), 21);
+    ASSERT_EQ(a.num_links(), b.num_links()) << to_string(family);
+    for (std::size_t l = 0; l < a.num_links(); ++l) {
+      EXPECT_DOUBLE_EQ(a.link(static_cast<LinkId>(l)).rate_gbps,
+                       b.link(static_cast<LinkId>(l)).rate_gbps);
+    }
+  }
+}
+
+// Property: SoCL-relevant invariants hold across families and sizes.
+class FamilyProperty
+    : public ::testing::TestWithParam<std::tuple<TopologyFamily, int>> {};
+
+TEST_P(FamilyProperty, AllPairsReachable) {
+  const auto [family, n] = GetParam();
+  const auto net = make_family_topology(family, config_for(n), 3);
+  const ShortestPaths sp(net);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      ASSERT_TRUE(sp.reachable(a, b)) << to_string(family) << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, FamilyProperty,
+    ::testing::Combine(::testing::Values(TopologyFamily::kRing,
+                                         TopologyFamily::kGrid,
+                                         TopologyFamily::kScaleFree),
+                       ::testing::Values(4, 9, 16, 25)));
+
+}  // namespace
+}  // namespace socl::net

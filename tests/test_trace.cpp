@@ -1,0 +1,153 @@
+// Tests for the synthetic Alibaba-style trace generator (Fig. 3/4 inputs).
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace socl::workload {
+namespace {
+
+TEST(TraceGen, ProducesConfiguredShape) {
+  TraceGenConfig config;
+  config.num_files = 5;
+  config.num_services = 7;
+  const auto files = generate_trace_files(config, 1);
+  ASSERT_EQ(files.size(), 5u);
+  for (const auto& file : files) {
+    ASSERT_EQ(file.services.size(), 7u);
+    for (int s = 0; s < 7; ++s) {
+      EXPECT_EQ(file.services[static_cast<std::size_t>(s)].service_id, s);
+    }
+  }
+}
+
+TEST(TraceGen, ChainsHaveAtLeastMinChainEdges) {
+  TraceGenConfig config;
+  config.min_chain = 12;
+  config.max_chain = 14;
+  const auto files = generate_trace_files(config, 2);
+  for (const auto& file : files) {
+    for (const auto& record : file.services) {
+      // A chain of length L contributes >= L-1 edges (mutations add more).
+      EXPECT_GE(record.call_edges.size(), 11u);
+    }
+  }
+}
+
+TEST(TraceGen, DeterministicInSeed) {
+  TraceGenConfig config;
+  const auto a = generate_trace_files(config, 3);
+  const auto b = generate_trace_files(config, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    for (std::size_t s = 0; s < a[f].services.size(); ++s) {
+      EXPECT_EQ(a[f].services[s].call_edges, b[f].services[s].call_edges);
+      EXPECT_EQ(a[f].services[s].occurrences, b[f].services[s].occurrences);
+    }
+  }
+}
+
+TEST(TraceGen, RejectsBadConfig) {
+  TraceGenConfig config;
+  config.num_files = 0;
+  EXPECT_THROW(generate_trace_files(config, 1), std::invalid_argument);
+  config = {};
+  config.min_chain = 1;
+  EXPECT_THROW(generate_trace_files(config, 1), std::invalid_argument);
+  config = {};
+  config.max_chain = config.min_chain - 1;
+  EXPECT_THROW(generate_trace_files(config, 1), std::invalid_argument);
+}
+
+TEST(Similarity, IdenticalRecordIsOne) {
+  TraceGenConfig config;
+  const auto files = generate_trace_files(config, 4);
+  const auto& record = files[0].services[0];
+  EXPECT_NEAR(service_similarity(record, record), 1.0, 1e-9);
+}
+
+TEST(Similarity, DifferentServicesAreDissimilar) {
+  // Distinct services use disjoint microservice id ranges, so structural
+  // similarity is 0; only trigger histograms can overlap.
+  TraceGenConfig config;
+  const auto files = generate_trace_files(config, 5);
+  const double sim =
+      service_similarity(files[0].services[0], files[0].services[1]);
+  EXPECT_LT(sim, 0.6);
+}
+
+TEST(Similarity, CrossFileBelowOneWithMutation) {
+  TraceGenConfig config;
+  config.edge_mutation_prob = 0.5;
+  config.trigger_drift = 3.0;
+  const auto files = generate_trace_files(config, 6);
+  double max_sim = 0.0;
+  for (std::size_t a = 0; a < files.size(); ++a) {
+    for (std::size_t b = a + 1; b < files.size(); ++b) {
+      max_sim = std::max(max_sim, cross_file_similarity(files[a], files[b], 0));
+    }
+  }
+  // Paper Fig. 3(b): diverse traces, max similarity well below 1.
+  EXPECT_LT(max_sim, 0.9);
+  EXPECT_GT(max_sim, 0.0);
+}
+
+TEST(Similarity, NoMutationRaisesCrossFileSimilarity) {
+  TraceGenConfig stable;
+  stable.edge_mutation_prob = 0.0;
+  stable.trigger_drift = 0.0;
+  TraceGenConfig noisy;
+  noisy.edge_mutation_prob = 0.6;
+  noisy.trigger_drift = 4.0;
+  const auto stable_files = generate_trace_files(stable, 7);
+  const auto noisy_files = generate_trace_files(noisy, 7);
+  auto mean_cross = [](const std::vector<TraceFile>& files) {
+    double total = 0.0;
+    int count = 0;
+    for (std::size_t a = 0; a < files.size(); ++a) {
+      for (std::size_t b = a + 1; b < files.size(); ++b) {
+        total += cross_file_similarity(files[a], files[b], 0);
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  EXPECT_GT(mean_cross(stable_files), mean_cross(noisy_files));
+}
+
+TEST(Similarity, MissingServiceThrows) {
+  TraceGenConfig config;
+  config.num_services = 2;
+  const auto files = generate_trace_files(config, 8);
+  EXPECT_THROW(cross_file_similarity(files[0], files[1], 5),
+               std::invalid_argument);
+}
+
+TEST(VolumeSeries, ShapeAndNonNegativity) {
+  const auto series = request_volume_series(10, 12, 50.0, 9);
+  ASSERT_EQ(series.size(), 120u);
+  for (double v : series) EXPECT_GE(v, 0.0);
+}
+
+TEST(VolumeSeries, ExhibitsTemporalFluctuation) {
+  const auto series = request_volume_series(10, 12, 100.0, 10);
+  const double peak = *std::max_element(series.begin(), series.end());
+  const double trough = *std::min_element(series.begin(), series.end());
+  // Fig. 4: strong fluctuations — peak at least 2x the trough floor.
+  EXPECT_GT(peak, 2.0 * std::max(trough, 1.0));
+}
+
+TEST(VolumeSeries, DeterministicInSeed) {
+  EXPECT_EQ(request_volume_series(3, 10, 20.0, 11),
+            request_volume_series(3, 10, 20.0, 11));
+}
+
+TEST(VolumeSeries, RejectsBadInput) {
+  EXPECT_THROW(request_volume_series(0, 10, 20.0, 1), std::invalid_argument);
+  EXPECT_THROW(request_volume_series(3, 0, 20.0, 1), std::invalid_argument);
+  EXPECT_THROW(request_volume_series(3, 10, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socl::workload

@@ -1,0 +1,105 @@
+// Tests for virtual links (harmonic-mean channel speed) and communication
+// intensity.
+#include "net/virtual_link.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace socl::net {
+namespace {
+
+EdgeNetwork path_graph() {
+  EdgeNetwork net;
+  for (int i = 0; i < 3; ++i) net.add_node({});
+  net.add_link_with_rate(0, 1, 10.0);
+  net.add_link_with_rate(1, 2, 40.0);
+  return net;
+}
+
+TEST(VirtualLinks, DirectLinkKeepsItsRate) {
+  auto net = path_graph();
+  ShortestPaths sp(net);
+  VirtualLinks vl(net, sp);
+  EXPECT_NEAR(vl.rate(0, 1), 10.0, 1e-12);
+  EXPECT_NEAR(vl.rate(1, 2), 40.0, 1e-12);
+}
+
+TEST(VirtualLinks, HarmonicMeanOverTwoHops) {
+  auto net = path_graph();
+  ShortestPaths sp(net);
+  VirtualLinks vl(net, sp);
+  // 1 / (1/10 + 1/40) = 8
+  EXPECT_NEAR(vl.rate(0, 2), 8.0, 1e-12);
+}
+
+TEST(VirtualLinks, VirtualRateNeverExceedsBottleneck) {
+  auto net = path_graph();
+  ShortestPaths sp(net);
+  VirtualLinks vl(net, sp);
+  for (NodeId a = 0; a < 3; ++a) {
+    for (NodeId b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_LE(vl.rate(a, b), sp.bottleneck_rate(a, b) + 1e-12);
+    }
+  }
+}
+
+TEST(VirtualLinks, SelfRateIsInfiniteAndTransferFree) {
+  auto net = path_graph();
+  ShortestPaths sp(net);
+  VirtualLinks vl(net, sp);
+  EXPECT_TRUE(std::isinf(vl.rate(1, 1)));
+  EXPECT_DOUBLE_EQ(vl.transfer_time(100.0, 1, 1), 0.0);
+}
+
+TEST(VirtualLinks, TransferTimeIsDataOverRate) {
+  auto net = path_graph();
+  ShortestPaths sp(net);
+  VirtualLinks vl(net, sp);
+  EXPECT_NEAR(vl.transfer_time(16.0, 0, 2), 2.0, 1e-12);  // 16 / 8
+}
+
+TEST(VirtualLinks, UnreachableTransferIsInfinite) {
+  EdgeNetwork net;
+  net.add_node({});
+  net.add_node({});
+  net.add_node({});
+  net.add_link_with_rate(0, 1, 5.0);
+  ShortestPaths sp(net);
+  VirtualLinks vl(net, sp);
+  EXPECT_DOUBLE_EQ(vl.rate(0, 2), 0.0);
+  EXPECT_TRUE(std::isinf(vl.transfer_time(1.0, 0, 2)));
+}
+
+TEST(VirtualLinks, IntensitySumsVirtualRates) {
+  auto net = path_graph();
+  ShortestPaths sp(net);
+  VirtualLinks vl(net, sp);
+  EXPECT_NEAR(vl.intensity(0), vl.rate(0, 1) + vl.rate(0, 2), 1e-12);
+  // The middle node sees both direct links: highest intensity.
+  EXPECT_GT(vl.intensity(1), vl.intensity(0));
+  EXPECT_GT(vl.intensity(1), vl.intensity(2));
+}
+
+TEST(VirtualLinks, SymmetricRates) {
+  auto net = path_graph();
+  ShortestPaths sp(net);
+  VirtualLinks vl(net, sp);
+  for (NodeId a = 0; a < 3; ++a) {
+    for (NodeId b = 0; b < 3; ++b) {
+      if (a == b) continue;  // diagonal is +inf by convention
+      EXPECT_NEAR(vl.rate(a, b), vl.rate(b, a), 1e-9);
+    }
+  }
+}
+
+TEST(VirtualLinks, BadIdsThrow) {
+  auto net = path_graph();
+  ShortestPaths sp(net);
+  VirtualLinks vl(net, sp);
+  EXPECT_THROW(vl.rate(0, 7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace socl::net
