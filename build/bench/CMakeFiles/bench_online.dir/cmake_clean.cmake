@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online.dir/bench_online.cpp.o"
+  "CMakeFiles/bench_online.dir/bench_online.cpp.o.d"
+  "bench_online"
+  "bench_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

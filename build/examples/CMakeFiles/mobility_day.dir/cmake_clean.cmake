@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_day.dir/mobility_day.cpp.o"
+  "CMakeFiles/mobility_day.dir/mobility_day.cpp.o.d"
+  "mobility_day"
+  "mobility_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_cli.dir/socl_cli.cpp.o"
+  "CMakeFiles/socl_cli.dir/socl_cli.cpp.o.d"
+  "socl_cli"
+  "socl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_trace.dir/testbed_trace.cpp.o"
+  "CMakeFiles/testbed_trace.dir/testbed_trace.cpp.o.d"
+  "testbed_trace"
+  "testbed_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gcog.cpp" "src/baselines/CMakeFiles/socl_baselines.dir/gcog.cpp.o" "gcc" "src/baselines/CMakeFiles/socl_baselines.dir/gcog.cpp.o.d"
+  "/root/repo/src/baselines/jdr.cpp" "src/baselines/CMakeFiles/socl_baselines.dir/jdr.cpp.o" "gcc" "src/baselines/CMakeFiles/socl_baselines.dir/jdr.cpp.o.d"
+  "/root/repo/src/baselines/random_provision.cpp" "src/baselines/CMakeFiles/socl_baselines.dir/random_provision.cpp.o" "gcc" "src/baselines/CMakeFiles/socl_baselines.dir/random_provision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/socl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/socl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/socl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

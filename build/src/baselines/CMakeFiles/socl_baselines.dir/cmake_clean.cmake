@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_baselines.dir/gcog.cpp.o"
+  "CMakeFiles/socl_baselines.dir/gcog.cpp.o.d"
+  "CMakeFiles/socl_baselines.dir/jdr.cpp.o"
+  "CMakeFiles/socl_baselines.dir/jdr.cpp.o.d"
+  "CMakeFiles/socl_baselines.dir/random_provision.cpp.o"
+  "CMakeFiles/socl_baselines.dir/random_provision.cpp.o.d"
+  "libsocl_baselines.a"
+  "libsocl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

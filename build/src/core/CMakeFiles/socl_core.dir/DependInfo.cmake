@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combination.cpp" "src/core/CMakeFiles/socl_core.dir/combination.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/combination.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/socl_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/fuzzy_ahp.cpp" "src/core/CMakeFiles/socl_core.dir/fuzzy_ahp.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/fuzzy_ahp.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/socl_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/socl_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/socl_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/preprovision.cpp" "src/core/CMakeFiles/socl_core.dir/preprovision.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/preprovision.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/core/CMakeFiles/socl_core.dir/routing.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/routing.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/socl_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/socl.cpp" "src/core/CMakeFiles/socl_core.dir/socl.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/socl.cpp.o.d"
+  "/root/repo/src/core/storage_planning.cpp" "src/core/CMakeFiles/socl_core.dir/storage_planning.cpp.o" "gcc" "src/core/CMakeFiles/socl_core.dir/storage_planning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/socl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/socl_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

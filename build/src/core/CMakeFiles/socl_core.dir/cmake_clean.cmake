@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_core.dir/combination.cpp.o"
+  "CMakeFiles/socl_core.dir/combination.cpp.o.d"
+  "CMakeFiles/socl_core.dir/evaluator.cpp.o"
+  "CMakeFiles/socl_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/socl_core.dir/fuzzy_ahp.cpp.o"
+  "CMakeFiles/socl_core.dir/fuzzy_ahp.cpp.o.d"
+  "CMakeFiles/socl_core.dir/online.cpp.o"
+  "CMakeFiles/socl_core.dir/online.cpp.o.d"
+  "CMakeFiles/socl_core.dir/partition.cpp.o"
+  "CMakeFiles/socl_core.dir/partition.cpp.o.d"
+  "CMakeFiles/socl_core.dir/placement.cpp.o"
+  "CMakeFiles/socl_core.dir/placement.cpp.o.d"
+  "CMakeFiles/socl_core.dir/preprovision.cpp.o"
+  "CMakeFiles/socl_core.dir/preprovision.cpp.o.d"
+  "CMakeFiles/socl_core.dir/routing.cpp.o"
+  "CMakeFiles/socl_core.dir/routing.cpp.o.d"
+  "CMakeFiles/socl_core.dir/scenario.cpp.o"
+  "CMakeFiles/socl_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/socl_core.dir/socl.cpp.o"
+  "CMakeFiles/socl_core.dir/socl.cpp.o.d"
+  "CMakeFiles/socl_core.dir/storage_planning.cpp.o"
+  "CMakeFiles/socl_core.dir/storage_planning.cpp.o.d"
+  "libsocl_core.a"
+  "libsocl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

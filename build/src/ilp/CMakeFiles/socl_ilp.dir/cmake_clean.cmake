@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_ilp.dir/exact_solver.cpp.o"
+  "CMakeFiles/socl_ilp.dir/exact_solver.cpp.o.d"
+  "CMakeFiles/socl_ilp.dir/socl_ilp.cpp.o"
+  "CMakeFiles/socl_ilp.dir/socl_ilp.cpp.o.d"
+  "libsocl_ilp.a"
+  "libsocl_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

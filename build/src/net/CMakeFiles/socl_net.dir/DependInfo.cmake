@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/failures.cpp" "src/net/CMakeFiles/socl_net.dir/failures.cpp.o" "gcc" "src/net/CMakeFiles/socl_net.dir/failures.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/socl_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/socl_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/shortest_path.cpp" "src/net/CMakeFiles/socl_net.dir/shortest_path.cpp.o" "gcc" "src/net/CMakeFiles/socl_net.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/socl_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/socl_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/topology_families.cpp" "src/net/CMakeFiles/socl_net.dir/topology_families.cpp.o" "gcc" "src/net/CMakeFiles/socl_net.dir/topology_families.cpp.o.d"
+  "/root/repo/src/net/virtual_link.cpp" "src/net/CMakeFiles/socl_net.dir/virtual_link.cpp.o" "gcc" "src/net/CMakeFiles/socl_net.dir/virtual_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

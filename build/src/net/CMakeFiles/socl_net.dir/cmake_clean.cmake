@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_net.dir/failures.cpp.o"
+  "CMakeFiles/socl_net.dir/failures.cpp.o.d"
+  "CMakeFiles/socl_net.dir/graph.cpp.o"
+  "CMakeFiles/socl_net.dir/graph.cpp.o.d"
+  "CMakeFiles/socl_net.dir/shortest_path.cpp.o"
+  "CMakeFiles/socl_net.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/socl_net.dir/topology.cpp.o"
+  "CMakeFiles/socl_net.dir/topology.cpp.o.d"
+  "CMakeFiles/socl_net.dir/topology_families.cpp.o"
+  "CMakeFiles/socl_net.dir/topology_families.cpp.o.d"
+  "CMakeFiles/socl_net.dir/virtual_link.cpp.o"
+  "CMakeFiles/socl_net.dir/virtual_link.cpp.o.d"
+  "libsocl_net.a"
+  "libsocl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_sim.dir/slot_sim.cpp.o"
+  "CMakeFiles/socl_sim.dir/slot_sim.cpp.o.d"
+  "CMakeFiles/socl_sim.dir/testbed.cpp.o"
+  "CMakeFiles/socl_sim.dir/testbed.cpp.o.d"
+  "libsocl_sim.a"
+  "libsocl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

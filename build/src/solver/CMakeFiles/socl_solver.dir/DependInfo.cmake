@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/mip.cpp" "src/solver/CMakeFiles/socl_solver.dir/mip.cpp.o" "gcc" "src/solver/CMakeFiles/socl_solver.dir/mip.cpp.o.d"
+  "/root/repo/src/solver/model.cpp" "src/solver/CMakeFiles/socl_solver.dir/model.cpp.o" "gcc" "src/solver/CMakeFiles/socl_solver.dir/model.cpp.o.d"
+  "/root/repo/src/solver/presolve.cpp" "src/solver/CMakeFiles/socl_solver.dir/presolve.cpp.o" "gcc" "src/solver/CMakeFiles/socl_solver.dir/presolve.cpp.o.d"
+  "/root/repo/src/solver/simplex.cpp" "src/solver/CMakeFiles/socl_solver.dir/simplex.cpp.o" "gcc" "src/solver/CMakeFiles/socl_solver.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

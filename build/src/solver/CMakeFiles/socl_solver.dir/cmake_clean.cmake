@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_solver.dir/mip.cpp.o"
+  "CMakeFiles/socl_solver.dir/mip.cpp.o.d"
+  "CMakeFiles/socl_solver.dir/model.cpp.o"
+  "CMakeFiles/socl_solver.dir/model.cpp.o.d"
+  "CMakeFiles/socl_solver.dir/presolve.cpp.o"
+  "CMakeFiles/socl_solver.dir/presolve.cpp.o.d"
+  "CMakeFiles/socl_solver.dir/simplex.cpp.o"
+  "CMakeFiles/socl_solver.dir/simplex.cpp.o.d"
+  "libsocl_solver.a"
+  "libsocl_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_util.dir/log.cpp.o"
+  "CMakeFiles/socl_util.dir/log.cpp.o.d"
+  "CMakeFiles/socl_util.dir/rng.cpp.o"
+  "CMakeFiles/socl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/socl_util.dir/stats.cpp.o"
+  "CMakeFiles/socl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/socl_util.dir/table.cpp.o"
+  "CMakeFiles/socl_util.dir/table.cpp.o.d"
+  "CMakeFiles/socl_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/socl_util.dir/thread_pool.cpp.o.d"
+  "libsocl_util.a"
+  "libsocl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

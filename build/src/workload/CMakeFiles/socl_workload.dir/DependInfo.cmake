@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/behavior.cpp" "src/workload/CMakeFiles/socl_workload.dir/behavior.cpp.o" "gcc" "src/workload/CMakeFiles/socl_workload.dir/behavior.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/socl_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/socl_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/microservice.cpp" "src/workload/CMakeFiles/socl_workload.dir/microservice.cpp.o" "gcc" "src/workload/CMakeFiles/socl_workload.dir/microservice.cpp.o.d"
+  "/root/repo/src/workload/mobility.cpp" "src/workload/CMakeFiles/socl_workload.dir/mobility.cpp.o" "gcc" "src/workload/CMakeFiles/socl_workload.dir/mobility.cpp.o.d"
+  "/root/repo/src/workload/request_gen.cpp" "src/workload/CMakeFiles/socl_workload.dir/request_gen.cpp.o" "gcc" "src/workload/CMakeFiles/socl_workload.dir/request_gen.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/socl_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/socl_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/socl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_workload.dir/behavior.cpp.o"
+  "CMakeFiles/socl_workload.dir/behavior.cpp.o.d"
+  "CMakeFiles/socl_workload.dir/catalog.cpp.o"
+  "CMakeFiles/socl_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/socl_workload.dir/microservice.cpp.o"
+  "CMakeFiles/socl_workload.dir/microservice.cpp.o.d"
+  "CMakeFiles/socl_workload.dir/mobility.cpp.o"
+  "CMakeFiles/socl_workload.dir/mobility.cpp.o.d"
+  "CMakeFiles/socl_workload.dir/request_gen.cpp.o"
+  "CMakeFiles/socl_workload.dir/request_gen.cpp.o.d"
+  "CMakeFiles/socl_workload.dir/trace.cpp.o"
+  "CMakeFiles/socl_workload.dir/trace.cpp.o.d"
+  "libsocl_workload.a"
+  "libsocl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

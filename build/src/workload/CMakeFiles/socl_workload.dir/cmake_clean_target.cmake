@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsocl_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_behavior.dir/test_behavior.cpp.o"
+  "CMakeFiles/test_behavior.dir/test_behavior.cpp.o.d"
+  "test_behavior"
+  "test_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalogs.dir/test_catalogs.cpp.o"
+  "CMakeFiles/test_catalogs.dir/test_catalogs.cpp.o.d"
+  "test_catalogs"
+  "test_catalogs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalogs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combination.dir/test_combination.cpp.o"
+  "CMakeFiles/test_combination.dir/test_combination.cpp.o.d"
+  "test_combination"
+  "test_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzzy_ahp.dir/test_fuzzy_ahp.cpp.o"
+  "CMakeFiles/test_fuzzy_ahp.dir/test_fuzzy_ahp.cpp.o.d"
+  "test_fuzzy_ahp"
+  "test_fuzzy_ahp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzzy_ahp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fuzzy_ahp.
+# This may be replaced when dependencies are built.

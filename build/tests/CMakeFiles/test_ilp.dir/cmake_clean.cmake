@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ilp.dir/test_ilp.cpp.o"
+  "CMakeFiles/test_ilp.dir/test_ilp.cpp.o.d"
+  "test_ilp"
+  "test_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

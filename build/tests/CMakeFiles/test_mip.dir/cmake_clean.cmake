@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mip.dir/test_mip.cpp.o"
+  "CMakeFiles/test_mip.dir/test_mip.cpp.o.d"
+  "test_mip"
+  "test_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

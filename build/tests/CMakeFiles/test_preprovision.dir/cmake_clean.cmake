@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preprovision.dir/test_preprovision.cpp.o"
+  "CMakeFiles/test_preprovision.dir/test_preprovision.cpp.o.d"
+  "test_preprovision"
+  "test_preprovision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preprovision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_presolve.dir/test_presolve.cpp.o"
+  "CMakeFiles/test_presolve.dir/test_presolve.cpp.o.d"
+  "test_presolve"
+  "test_presolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_presolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regressions.dir/test_regressions.cpp.o"
+  "CMakeFiles/test_regressions.dir/test_regressions.cpp.o.d"
+  "test_regressions"
+  "test_regressions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shortest_path.dir/test_shortest_path.cpp.o"
+  "CMakeFiles/test_shortest_path.dir/test_shortest_path.cpp.o.d"
+  "test_shortest_path"
+  "test_shortest_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shortest_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_socl.dir/test_socl.cpp.o"
+  "CMakeFiles/test_socl.dir/test_socl.cpp.o.d"
+  "test_socl"
+  "test_socl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_socl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_stress.dir/test_solver_stress.cpp.o"
+  "CMakeFiles/test_solver_stress.dir/test_solver_stress.cpp.o.d"
+  "test_solver_stress"
+  "test_solver_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

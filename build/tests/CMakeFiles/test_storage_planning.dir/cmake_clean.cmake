@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_planning.dir/test_storage_planning.cpp.o"
+  "CMakeFiles/test_storage_planning.dir/test_storage_planning.cpp.o.d"
+  "test_storage_planning"
+  "test_storage_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/test_table.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_table.dir/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/socl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/socl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/socl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/socl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/socl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/socl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/socl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

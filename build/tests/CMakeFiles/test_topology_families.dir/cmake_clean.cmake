@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_families.dir/test_topology_families.cpp.o"
+  "CMakeFiles/test_topology_families.dir/test_topology_families.cpp.o.d"
+  "test_topology_families"
+  "test_topology_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

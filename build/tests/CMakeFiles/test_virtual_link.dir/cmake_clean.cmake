@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_link.dir/test_virtual_link.cpp.o"
+  "CMakeFiles/test_virtual_link.dir/test_virtual_link.cpp.o.d"
+  "test_virtual_link"
+  "test_virtual_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
