@@ -94,6 +94,40 @@ int main() {
   table.print(std::cout);
   bench::maybe_write_csv(table, "ablation");
 
+  // Where the combination stage spends its wall time, and how much DP work
+  // the incremental route cache saves, for the full configuration.
+  {
+    const auto solution = core::SoCL().solve(scenario);
+    const auto& stats = solution.combination_stats;
+    util::Table stage_table({"combination stage", "seconds"});
+    stage_table.row().cell("parallel").num(stats.parallel_stage_seconds, 4);
+    stage_table.row().cell("serial").num(stats.serial_stage_seconds, 4);
+    stage_table.row().cell("polish").num(stats.polish_seconds, 4);
+    stage_table.row().cell("multi-start").num(stats.multi_start_seconds, 4);
+    std::cout << "\nstage wall time (full variant)\n";
+    stage_table.print(std::cout);
+    bench::maybe_write_csv(stage_table, "ablation_stages");
+
+    const auto& routing = stats.routing;
+    util::Table routing_table({"routing counter", "value"});
+    routing_table.row().cell("cache refreshes").integer(
+        routing.cache_refreshes);
+    routing_table.row().cell("routes computed").integer(
+        routing.routes_computed);
+    routing_table.row().cell("cache hits").integer(routing.cache_hits);
+    routing_table.row().cell("reroutes avoided").integer(
+        routing.reroutes_avoided);
+    routing_table.row().cell("candidates scored").integer(
+        routing.candidates_scored);
+    routing_table.row().cell("refresh seconds x1000").integer(
+        static_cast<long long>(routing.refresh_seconds * 1000.0));
+    routing_table.row().cell("score seconds x1000").integer(
+        static_cast<long long>(routing.score_seconds * 1000.0));
+    std::cout << "\nrouting-engine counters (full variant)\n";
+    routing_table.print(std::cout);
+    bench::maybe_write_csv(routing_table, "ablation_routing");
+  }
+
   // The dense-basin multi-start can mask the pipeline modules' individual
   // contributions; ablate them again with it disabled so the raw
   // partition -> pre-provision -> combination path is visible.

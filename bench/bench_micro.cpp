@@ -3,8 +3,11 @@
 // engine, and the end-to-end SoCL solve.
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "bench_common.h"
 #include "core/fuzzy_ahp.h"
+#include "core/routing_engine.h"
 #include "ilp/socl_ilp.h"
 
 namespace {
@@ -54,6 +57,111 @@ void BM_ChainRouteSingleUser(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChainRouteSingleUser);
+
+void BM_ChainRouteScratchReuse(benchmark::State& state) {
+  // The scoring kernel: route_cost with a warm scratch — no back-pointers,
+  // no reconstruction, no allocations. Compare against BM_ChainRouteSingleUser.
+  const auto& scenario = shared_scenario();
+  core::Placement placement(scenario);
+  for (core::MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (const core::NodeId k : scenario.demand_nodes(m)) {
+      placement.deploy(m, k);
+    }
+  }
+  const core::ChainRouter router(scenario);
+  const auto& request = scenario.requests().front();
+  core::RouteScratch scratch;
+  for (auto _ : state) {
+    double cost = router.route_cost(request, placement, scratch);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_ChainRouteScratchReuse);
+
+// ---- Serial-stage candidate scan: exact full rescore vs the incremental
+// routing engine. Both score the identical removal-candidate list with the
+// exact objective; the engine refreshes its per-user route cache once and
+// then reroutes only the users a removal can affect. The routing counters
+// attached to each benchmark show the DP work actually performed. ----
+
+struct ScanSetup {
+  core::Partitioning partitioning;
+  core::Preprovisioning pre;
+  std::vector<core::LatencyLoss> losses;
+
+  ScanSetup()
+      : partitioning(core::initial_partition(shared_scenario(), {})),
+        pre(core::preprovision(shared_scenario(), partitioning)) {
+    const core::Combiner combiner(shared_scenario(), partitioning, {});
+    losses = combiner.latency_losses(pre.placement);
+  }
+};
+
+const ScanSetup& scan_setup() {
+  static const ScanSetup setup;
+  return setup;
+}
+
+void attach_routing_counters(benchmark::State& state,
+                             const core::RoutingCounters& counters) {
+  using benchmark::Counter;
+  state.counters["candidates"] =
+      Counter(static_cast<double>(counters.candidates_scored),
+              Counter::kAvgIterations);
+  state.counters["routes"] = Counter(
+      static_cast<double>(counters.routes_computed), Counter::kAvgIterations);
+  state.counters["cache_hits"] = Counter(
+      static_cast<double>(counters.cache_hits), Counter::kAvgIterations);
+  state.counters["avoided"] = Counter(
+      static_cast<double>(counters.reroutes_avoided), Counter::kAvgIterations);
+}
+
+void BM_CandidateScanFullRescore(benchmark::State& state) {
+  const auto& setup = scan_setup();
+  core::RoutingEngine engine(shared_scenario(), /*threads=*/1,
+                             /*parallel=*/false);
+  for (auto _ : state) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& loss : setup.losses) {
+      core::Placement trial = setup.pre.placement;
+      trial.remove(loss.service, loss.node);
+      best = std::min(best, engine.full_objective(trial));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  attach_routing_counters(state, engine.counters());
+}
+BENCHMARK(BM_CandidateScanFullRescore)->Unit(benchmark::kMillisecond);
+
+void BM_CandidateScanEngineCached(benchmark::State& state) {
+  const auto& setup = scan_setup();
+  core::RoutingEngine engine(shared_scenario());
+  engine.refresh(setup.pre.placement);
+  engine.reset_counters();
+  for (auto _ : state) {
+    const auto scores = engine.score_candidates(
+        setup.losses.size(),
+        [&](std::size_t i, core::RoutingEngine::ScoreContext& ctx) {
+          const auto& loss = setup.losses[i];
+          core::Placement trial = setup.pre.placement;
+          trial.remove(loss.service, loss.node);
+          return engine.objective_without(loss.service, loss.node, trial, ctx);
+        });
+    benchmark::DoNotOptimize(scores);
+  }
+  attach_routing_counters(state, engine.counters());
+}
+BENCHMARK(BM_CandidateScanEngineCached)->Unit(benchmark::kMillisecond);
+
+void BM_RouteCacheRefresh(benchmark::State& state) {
+  const auto& setup = scan_setup();
+  core::RoutingEngine engine(shared_scenario());
+  for (auto _ : state) {
+    engine.refresh(setup.pre.placement);
+    benchmark::DoNotOptimize(engine.cached_latency_sum());
+  }
+}
+BENCHMARK(BM_RouteCacheRefresh)->Unit(benchmark::kMillisecond);
 
 void BM_LatencyLossList(benchmark::State& state) {
   const auto& scenario = shared_scenario();

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "core/storage_planning.h"
+#include "util/timer.h"
 
 namespace socl::core {
 namespace {
@@ -19,7 +20,8 @@ Combiner::Combiner(const Scenario& scenario, const Partitioning& partitioning,
     : scenario_(&scenario),
       partitioning_(&partitioning),
       config_(config),
-      evaluator_(scenario) {
+      evaluator_(scenario),
+      engine_(scenario, config.threads, config.use_parallel_scoring) {
   const auto services = static_cast<std::size_t>(scenario.num_microservices());
   const auto nodes = static_cast<std::size_t>(scenario.num_nodes());
 
@@ -34,72 +36,27 @@ Combiner::Combiner(const Scenario& scenario, const Partitioning& partitioning,
   }
 
   dependency_adjacent_.assign(services, std::vector<bool>(services, false));
-  users_of_.assign(services, {});
   for (const auto& request : scenario.requests()) {
     for (std::size_t pos = 1; pos < request.chain.size(); ++pos) {
       const auto a = static_cast<std::size_t>(request.chain[pos - 1]);
       const auto b = static_cast<std::size_t>(request.chain[pos]);
       dependency_adjacent_[a][b] = dependency_adjacent_[b][a] = true;
     }
-    for (const MsId m : request.chain) {
-      users_of_[static_cast<std::size_t>(m)].push_back(request.id);
-    }
   }
 }
 
 void Combiner::refresh_route_cache(const Placement& placement) const {
-  const ChainRouter& router = evaluator_.router();
-  cached_latency_.assign(scenario_->requests().size(), kInf);
-  cached_routes_.assign(scenario_->requests().size(), {});
-  cached_latency_sum_ = 0.0;
-  for (const auto& request : scenario_->requests()) {
-    auto route = router.route(request, placement);
-    const double d = route ? route->total() : kInf;
-    cached_latency_[static_cast<std::size_t>(request.id)] = d;
-    if (route) {
-      cached_routes_[static_cast<std::size_t>(request.id)] =
-          std::move(route->nodes);
-    }
-    cached_latency_sum_ += d;
-  }
+  engine_.refresh(placement);
 }
 
 double Combiner::cached_objective_without(MsId m, NodeId k,
                                           const Placement& trial) const {
-  // Removing (m, k) can only affect users whose current optimal route sends
-  // m to k — everyone else's optimum is still available in the smaller
-  // feasible set. This cuts removal scans by roughly the replica count.
-  const ChainRouter& router = evaluator_.router();
-  double latency = cached_latency_sum_;
-  for (const int h : users_of_[static_cast<std::size_t>(m)]) {
-    const auto& request = scenario_->request(h);
-    const auto& route = cached_routes_[static_cast<std::size_t>(h)];
-    const int pos = request.position_of(m);
-    if (pos < 0 || route.empty() ||
-        route[static_cast<std::size_t>(pos)] != k) {
-      continue;
-    }
-    const auto rerouted = router.route(request, trial);
-    if (!rerouted) return kInf;
-    latency +=
-        rerouted->total() - cached_latency_[static_cast<std::size_t>(h)];
-  }
-  return evaluator_.combine(trial.deployment_cost(scenario_->catalog()),
-                            latency);
+  return engine_.objective_without(m, k, trial);
 }
 
 double Combiner::cached_objective_with_change(const Placement& trial,
                                               MsId changed) const {
-  const ChainRouter& router = evaluator_.router();
-  double latency = cached_latency_sum_;
-  for (const int h : users_of_[static_cast<std::size_t>(changed)]) {
-    const auto& request = scenario_->request(h);
-    const auto route = router.route(request, trial);
-    if (!route) return kInf;
-    latency += route->total() - cached_latency_[static_cast<std::size_t>(h)];
-  }
-  return evaluator_.combine(trial.deployment_cost(scenario_->catalog()),
-                            latency);
+  return engine_.objective_with_change(trial, changed);
 }
 
 NodeId Combiner::best_connection(int user, MsId m,
@@ -236,9 +193,9 @@ std::vector<LatencyLoss> Combiner::latency_losses(
     losses[i] = {m, k, zeta, gradient};
   };
   if (config_.use_parallel_stage && instances.size() > 8) {
-    util::ThreadPool pool(static_cast<std::size_t>(
-        config_.threads > 0 ? config_.threads : 0));
-    pool.parallel_for(instances.size(), fill);
+    // ζ evaluations are pure per-index writes, so the engine's shared pool
+    // (no per-round thread spawning) keeps results order-independent.
+    engine_.pool().parallel_for(instances.size(), fill);
   } else {
     for (std::size_t i = 0; i < instances.size(); ++i) fill(i);
   }
@@ -254,9 +211,13 @@ std::vector<LatencyLoss> Combiner::latency_losses(
 bool Combiner::violates_deadline(const Placement& placement) const {
   if (use_exact_eval()) {
     const ChainRouter& router = evaluator_.router();
+    RouteScratch scratch;
     for (const auto& request : scenario_->requests()) {
-      const auto route = router.route(request, placement);
-      if (!route || route->total() > request.deadline + 1e-9) return true;
+      // route_cost is +inf for unroutable users, which trips the deadline.
+      if (router.route_cost(request, placement, scratch) >
+          request.deadline + 1e-9) {
+        return true;
+      }
     }
     return false;
   }
@@ -279,22 +240,47 @@ bool Combiner::use_exact_eval() const {
 
 double Combiner::serial_objective(const Placement& placement) const {
   if (!use_exact_eval()) return estimated_objective(placement);
-  double latency = 0.0;
-  const ChainRouter& router = evaluator_.router();
-  for (const auto& request : scenario_->requests()) {
-    const auto route = router.route(request, placement);
-    if (!route) return kInf;
-    latency += route->total();
+  return engine_.full_objective(placement);
+}
+
+std::vector<bool> Combiner::dependency_conflict_filter(
+    const std::vector<LatencyLoss>& omega_set) const {
+  // Dependency-conflict filter (Algorithm 3 line 4): among selected
+  // instances of chain-adjacent microservices, keep only the smaller ζ.
+  // omega_set arrives gradient-ascending (latency_losses sorts by objective
+  // gradient), and gradient order can disagree with ζ order when deploy
+  // costs differ — so the discard decision compares ζ explicitly and only
+  // falls back to gradient, then ids, to stay deterministic on ties.
+  std::vector<bool> discard(omega_set.size(), false);
+  for (std::size_t a = 0; a < omega_set.size(); ++a) {
+    for (std::size_t b = a + 1; b < omega_set.size(); ++b) {
+      if (discard[a] || discard[b]) continue;
+      const auto ma = static_cast<std::size_t>(omega_set[a].service);
+      const auto mb = static_cast<std::size_t>(omega_set[b].service);
+      if (ma == mb || !dependency_adjacent_[ma][mb]) continue;
+      const auto& la = omega_set[a];
+      const auto& lb = omega_set[b];
+      bool keep_a;
+      if (la.zeta != lb.zeta) {
+        keep_a = la.zeta < lb.zeta;
+      } else if (la.gradient != lb.gradient) {
+        keep_a = la.gradient < lb.gradient;
+      } else {
+        keep_a = true;  // identical scores: keep the earlier entry
+      }
+      discard[keep_a ? b : a] = true;
+    }
   }
-  return evaluator_.combine(placement.deployment_cost(scenario_->catalog()),
-                            latency);
+  return discard;
 }
 
 Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
   Placement placement = pre.placement;
   CombinationStats local_stats;
+  engine_.reset_counters();
   const double budget = scenario_->constants().budget;
   const auto& catalog = scenario_->catalog();
+  util::WallTimer stage_timer;
 
   // ---- Large-scale (parallel) stage: lines 1-5 of Algorithm 3. ----
   if (config_.use_parallel_stage) {
@@ -310,20 +296,7 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
                                          losses.begin() + static_cast<long>(
                                              std::min(take, losses.size())));
 
-      // Dependency-conflict filter (line 4): among selected instances of
-      // chain-adjacent microservices, keep only the smaller ζ.
-      std::vector<bool> discard(omega_set.size(), false);
-      for (std::size_t a = 0; a < omega_set.size(); ++a) {
-        for (std::size_t b = a + 1; b < omega_set.size(); ++b) {
-          if (discard[a] || discard[b]) continue;
-          const auto ma = static_cast<std::size_t>(omega_set[a].service);
-          const auto mb = static_cast<std::size_t>(omega_set[b].service);
-          if (ma != mb && dependency_adjacent_[ma][mb]) {
-            // omega_set is ζ-ascending, so b is the larger loss.
-            discard[b] = true;
-          }
-        }
-      }
+      const std::vector<bool> discard = dependency_conflict_filter(omega_set);
 
       // Apply the parallel combine, honouring per-service floors.
       std::vector<int> planned(
@@ -343,6 +316,8 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
       if (removed == 0) break;  // all picks blocked: avoid spinning
     }
   }
+  local_stats.parallel_stage_seconds = stage_timer.elapsed_seconds();
+  stage_timer.reset();
 
   // Establish storage feasibility before the serial descent: the parallel
   // stage merges without running Algorithm 5, and a pre-existing overload
@@ -373,20 +348,24 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
     const bool exact = use_exact_eval();
     double q_before;
     if (exact) {
-      refresh_route_cache(placement);
-      q_before = evaluator_.combine(
+      engine_.refresh(placement);
+      q_before = engine_.combine(
           placement.deployment_cost(scenario_->catalog()),
-          cached_latency_sum_);
+          engine_.cached_latency_sum());
     } else {
       q_before = estimated_objective(placement);
     }
-    for (auto& loss : losses) {
-      Placement trial = placement;
-      trial.remove(loss.service, loss.node);
-      loss.gradient = exact
-                          ? cached_objective_without(loss.service, loss.node,
-                                                     trial)
-                          : estimated_objective(trial);
+    const auto scores = engine_.score_candidates(
+        losses.size(),
+        [&](std::size_t i, RoutingEngine::ScoreContext& ctx) {
+          Placement trial = placement;
+          trial.remove(losses[i].service, losses[i].node);
+          return exact ? engine_.objective_without(losses[i].service,
+                                                   losses[i].node, trial, ctx)
+                       : estimated_objective(trial);
+        });
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      losses[i].gradient = scores[i];
     }
     std::sort(losses.begin(), losses.end(),
               [](const LatencyLoss& a, const LatencyLoss& b) {
@@ -434,6 +413,8 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
     }
     ++local_stats.serial_removals;
   }
+  local_stats.serial_stage_seconds = stage_timer.elapsed_seconds();
+  stage_timer.reset();
 
   // ---- Multi-scale polish: screened best-move local search. ----
   // Move repertoire mirrors the framework's own operations — instance
@@ -445,6 +426,8 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
   if (config_.use_relocation) {
     polish(placement);
   }
+  local_stats.polish_seconds = stage_timer.elapsed_seconds();
+  stage_timer.reset();
 
   // ---- Multi-start: descend the dense basin as well and keep the best. ----
   if (config_.use_multi_start) {
@@ -465,6 +448,8 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
     }
   }
 
+  local_stats.multi_start_seconds = stage_timer.elapsed_seconds();
+  local_stats.routing = engine_.counters();
   if (stats != nullptr) *stats = local_stats;
   return placement;
 }
@@ -481,19 +466,23 @@ void Combiner::descend_to_budget(Placement& placement) const {
     const bool exact = use_exact_eval();
     double current;
     if (exact) {
-      refresh_route_cache(placement);
-      current = evaluator_.combine(placement.deployment_cost(catalog),
-                                   cached_latency_sum_);
+      engine_.refresh(placement);
+      current = engine_.combine(placement.deployment_cost(catalog),
+                                engine_.cached_latency_sum());
     } else {
       current = estimated_objective(placement);
     }
-    for (auto& loss : losses) {
-      Placement trial = placement;
-      trial.remove(loss.service, loss.node);
-      loss.gradient = exact
-                          ? cached_objective_without(loss.service, loss.node,
-                                                     trial)
-                          : estimated_objective(trial);
+    const auto scores = engine_.score_candidates(
+        losses.size(),
+        [&](std::size_t i, RoutingEngine::ScoreContext& ctx) {
+          Placement trial = placement;
+          trial.remove(losses[i].service, losses[i].node);
+          return exact ? engine_.objective_without(losses[i].service,
+                                                   losses[i].node, trial, ctx)
+                       : estimated_objective(trial);
+        });
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      losses[i].gradient = scores[i];
     }
     std::sort(losses.begin(), losses.end(),
               [](const LatencyLoss& a, const LatencyLoss& b) {
@@ -587,18 +576,22 @@ void Combiner::polish_descend(Placement& placement) const {
     // touches a single microservice, so only its users reroute), otherwise
     // the connection-rule estimate.
     const bool exact = use_exact_eval();
-    if (exact) refresh_route_cache(placement);
-    for (auto& move : candidates) {
-      Placement trial = placement;
-      apply(trial, move);
-      if (!exact) {
-        move.estimate = estimated_objective(trial);
-      } else if (move.kind == Move::Kind::kRemove) {
-        move.estimate =
-            cached_objective_without(move.service, move.from, trial);
-      } else {
-        move.estimate = cached_objective_with_change(trial, move.service);
-      }
+    if (exact) engine_.refresh(placement);
+    const auto estimates = engine_.score_candidates(
+        candidates.size(),
+        [&](std::size_t i, RoutingEngine::ScoreContext& ctx) {
+          const Move& move = candidates[i];
+          Placement trial = placement;
+          apply(trial, move);
+          if (!exact) return estimated_objective(trial);
+          if (move.kind == Move::Kind::kRemove) {
+            return engine_.objective_without(move.service, move.from, trial,
+                                             ctx);
+          }
+          return engine_.objective_with_change(trial, move.service, ctx);
+        });
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      candidates[i].estimate = estimates[i];
     }
     std::sort(candidates.begin(), candidates.end(),
               [](const Move& a, const Move& b) {

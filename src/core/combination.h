@@ -20,6 +20,7 @@
 
 #include "core/evaluator.h"
 #include "core/preprovision.h"
+#include "core/routing_engine.h"
 #include "util/thread_pool.h"
 
 namespace socl::core {
@@ -41,6 +42,11 @@ struct CombinationConfig {
   int shortlist = 4;
   /// Worker threads for the parallel stage (0 = hardware concurrency).
   int threads = 0;
+  /// Fan candidate scoring out over the routing engine's pool. Scores are
+  /// written by candidate index and each score is a pure function of the
+  /// route cache, so disabling this changes wall time, never results (the
+  /// determinism test in test_routing_engine enforces it).
+  bool use_parallel_scoring = true;
   bool use_parallel_stage = true;   // ablation switches
   bool use_storage_planning = true;
   bool use_rollback = true;
@@ -62,6 +68,13 @@ struct CombinationStats {
   int parallel_removals = 0;
   int serial_removals = 0;
   int rollbacks = 0;
+  /// Wall time per combination stage (seconds).
+  double parallel_stage_seconds = 0.0;
+  double serial_stage_seconds = 0.0;
+  double polish_seconds = 0.0;
+  double multi_start_seconds = 0.0;
+  /// Routing-engine counters accumulated across the whole run.
+  RoutingCounters routing;
 };
 
 /// One latency-loss entry ζ_{i,k} (Definition 8) with its objective
@@ -106,10 +119,12 @@ class Combiner {
   /// connection-rule estimate. Exposed for tests.
   double serial_objective(const Placement& placement) const;
 
-  /// Exact incremental scoring: refreshes the per-user latency cache for
-  /// `placement`; subsequent scored_move calls reroute only the users whose
-  /// chains contain the changed microservice, which makes exhaustive exact
-  /// candidate scans ~|M| times cheaper than full re-evaluation.
+  /// Exact incremental scoring: refreshes the routing engine's per-user
+  /// latency cache for `placement`; subsequent scored-move calls reroute
+  /// only the users whose chains contain the changed microservice, which
+  /// makes exhaustive exact candidate scans ~|M| times cheaper than full
+  /// re-evaluation. Thin forwarders to the engine, kept for tests and the
+  /// online solver.
   void refresh_route_cache(const Placement& placement) const;
   /// Exact objective of `trial`, assuming it differs from the cached
   /// placement only in instances of microservice `changed`.
@@ -117,9 +132,19 @@ class Combiner {
                                       MsId changed) const;
   /// Exact objective of `trial`, assuming it equals the cached placement
   /// minus the single instance (m, k): reroutes only users whose cached
-  /// route actually used that instance.
+  /// route actually used that instance (at any chain position).
   double cached_objective_without(MsId m, NodeId k,
                                   const Placement& trial) const;
+
+  /// The incremental routing engine backing all exact scoring. Exposed so
+  /// SoCL::solve can reuse its cache/counters for the final routing pass.
+  RoutingEngine& engine() const { return engine_; }
+
+  /// Algorithm 3 line 4: among selected instances of chain-adjacent
+  /// microservices, keep the smaller ζ (gradient, then ids as tiebreaks).
+  /// Returns the discard mask. Exposed for the regression tests.
+  std::vector<bool> dependency_conflict_filter(
+      const std::vector<LatencyLoss>& omega_set) const;
 
   /// Screened best-move local search over {remove, add, relocate} moves,
   /// wrapped with iterated perturbation kicks. Public so the online solver
@@ -142,16 +167,12 @@ class Combiner {
   const Partitioning* partitioning_;
   CombinationConfig config_;
   Evaluator evaluator_;
+  /// Incremental route cache + scratch buffers + candidate fan-out.
+  mutable RoutingEngine engine_;
   /// group_index_[m][k]: group of node k for microservice m, or -1.
   std::vector<std::vector<int>> group_index_;
   /// Microservice pairs adjacent in some user chain (dependency conflicts).
   std::vector<std::vector<bool>> dependency_adjacent_;
-  /// users_of_[m]: ids of users whose chain contains m.
-  std::vector<std::vector<int>> users_of_;
-  /// Route-latency cache for the incremental evaluator.
-  mutable std::vector<double> cached_latency_;
-  mutable std::vector<std::vector<NodeId>> cached_routes_;
-  mutable double cached_latency_sum_ = 0.0;
 };
 
 }  // namespace socl::core

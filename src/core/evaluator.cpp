@@ -32,8 +32,9 @@ Evaluation Evaluator::evaluate(const Placement& placement) const {
 
   double total = 0.0;
   double worst = 0.0;
+  RouteScratch scratch;  // reused across the request loop
   for (const auto& request : scenario_->requests()) {
-    auto routed = router_.route(request, placement);
+    auto routed = router_.route(request, placement, scratch);
     if (!routed) {
       eval.routable = false;
       eval.objective = std::numeric_limits<double>::infinity();

@@ -45,6 +45,14 @@ std::vector<NodeId> Placement::nodes_of(MsId m) const {
   return nodes;
 }
 
+std::size_t Placement::nodes_of_into(MsId m, std::vector<NodeId>& out) const {
+  out.clear();
+  for (NodeId k = 0; k < nodes_; ++k) {
+    if (deployed(m, k)) out.push_back(k);
+  }
+  return out.size();
+}
+
 double Placement::deployment_cost(const workload::AppCatalog& catalog) const {
   double total = 0.0;
   for (MsId m = 0; m < services_; ++m) {

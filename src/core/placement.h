@@ -35,6 +35,11 @@ class Placement {
   /// Nodes currently hosting m (ascending ids).
   std::vector<NodeId> nodes_of(MsId m) const;
 
+  /// Fills `out` with the nodes hosting m (ascending ids) without shrinking
+  /// its capacity — the allocation-free variant the routing scratch relies
+  /// on. Returns the number of instances written.
+  std::size_t nodes_of_into(MsId m, std::vector<NodeId>& out) const;
+
   /// Total deployment cost Σ_k K_k = Σ_{i,k} κ(m_i)·x(i,k).
   double deployment_cost(const workload::AppCatalog& catalog) const;
 

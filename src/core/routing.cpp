@@ -7,48 +7,70 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Fills scratch.layers[pos] with the hosting candidates of every chain
+/// position. Returns false when some microservice has no instance.
+bool fill_layers(const workload::UserRequest& request,
+                 const Placement& placement, RouteScratch& scratch) {
+  const auto len = request.chain.size();
+  if (scratch.layers.size() < len) scratch.layers.resize(len);
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    if (placement.nodes_of_into(request.chain[pos], scratch.layers[pos]) ==
+        0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 std::optional<RouteResult> ChainRouter::route(
     const workload::UserRequest& request, const Placement& placement) const {
+  RouteScratch scratch;
+  return route(request, placement, scratch);
+}
+
+std::optional<RouteResult> ChainRouter::route(
+    const workload::UserRequest& request, const Placement& placement,
+    RouteScratch& scratch) const {
   const auto& vlinks = scenario_->vlinks();
   const auto& network = scenario_->network();
   const auto& catalog = scenario_->catalog();
   const auto len = request.chain.size();
 
-  // Hosting candidates per layer.
-  std::vector<std::vector<NodeId>> layers(len);
-  for (std::size_t pos = 0; pos < len; ++pos) {
-    layers[pos] = placement.nodes_of(request.chain[pos]);
-    if (layers[pos].empty()) return std::nullopt;
-  }
+  if (!fill_layers(request, placement, scratch)) return std::nullopt;
+  const auto& layers = scratch.layers;
 
   double best_total = kInf;
-  std::vector<NodeId> best_route;
+  std::size_t best_terminal = 0;
+  NodeId best_start = net::kInvalidNode;
+  if (scratch.back.size() < len) scratch.back.resize(len);
 
   // Condition the DP on the first-layer choice v_s (d_in and d_out both
-  // reference it).
+  // reference it). Back-pointers are rebuilt per conditioning, so only the
+  // winning conditioning's route is reconstructed below.
   for (const NodeId v_s : layers[0]) {
     const double d_in =
         vlinks.transfer_time(request.data_in, request.attach_node, v_s);
     if (d_in == kInf) continue;
 
     // dp[k] = best cumulative cycle cost with chain[pos] served at k.
-    std::vector<double> dp(layers[0].size(), 0.0);
-    std::vector<std::vector<int>> back(len);
+    auto& dp = scratch.dp;
     // First layer is fixed to v_s: mark all other first-layer nodes dead.
+    dp.assign(layers[0].size(), kInf);
     for (std::size_t c = 0; c < layers[0].size(); ++c) {
-      dp[c] = layers[0][c] == v_s
-                  ? catalog.microservice(request.chain[0]).compute_gflop /
-                        network.node(v_s).compute_gflops
-                  : kInf;
+      if (layers[0][c] == v_s) {
+        dp[c] = catalog.microservice(request.chain[0]).compute_gflop /
+                network.node(v_s).compute_gflops;
+      }
     }
     for (std::size_t pos = 1; pos < len; ++pos) {
       const double data = request.edge_data[pos - 1];
       const auto& prev = layers[pos - 1];
       const auto& cur = layers[pos];
-      std::vector<double> next(cur.size(), kInf);
-      back[pos].assign(cur.size(), -1);
+      auto& next = scratch.next;
+      next.assign(cur.size(), kInf);
+      scratch.back[pos].assign(cur.size(), -1);
       for (std::size_t c = 0; c < cur.size(); ++c) {
         const NodeId k = cur[c];
         const double compute =
@@ -60,36 +82,46 @@ std::optional<RouteResult> ChainRouter::route(
           const double cand = dp[p] + transfer + compute;
           if (cand < next[c]) {
             next[c] = cand;
-            back[pos][c] = static_cast<int>(p);
+            scratch.back[pos][c] = static_cast<int>(p);
           }
         }
       }
-      dp = std::move(next);
+      dp.swap(next);
     }
 
     // Terminal: return payload from the last node v_d back to v_s.
+    bool improved = false;
     for (std::size_t c = 0; c < layers[len - 1].size(); ++c) {
-      if (dp[c] == kInf) continue;
+      if (scratch.dp[c] == kInf) continue;
       const NodeId v_d = layers[len - 1][c];
       const double d_out = vlinks.transfer_time(request.data_out, v_d, v_s);
-      const double total = d_in + dp[c] + d_out;
+      const double total = d_in + scratch.dp[c] + d_out;
       if (total < best_total) {
         best_total = total;
-        // Reconstruct.
-        best_route.assign(len, net::kInvalidNode);
-        std::size_t cursor = c;
-        for (std::size_t pos = len; pos-- > 0;) {
-          best_route[pos] = layers[pos][cursor];
-          if (pos > 0) cursor = static_cast<std::size_t>(back[pos][cursor]);
+        best_terminal = c;
+        best_start = v_s;
+        improved = true;
+      }
+    }
+    if (improved) {
+      // Reconstruct into the scratch route while this conditioning's
+      // back-pointers are still alive.
+      scratch.route.assign(len, net::kInvalidNode);
+      std::size_t cursor = best_terminal;
+      for (std::size_t pos = len; pos-- > 0;) {
+        scratch.route[pos] = layers[pos][cursor];
+        if (pos > 0) {
+          cursor = static_cast<std::size_t>(scratch.back[pos][cursor]);
         }
       }
     }
   }
 
-  if (best_route.empty()) return std::nullopt;
+  if (best_start == net::kInvalidNode) return std::nullopt;
 
   RouteResult result;
-  result.nodes = std::move(best_route);
+  result.nodes.assign(scratch.route.begin(),
+                      scratch.route.begin() + static_cast<long>(len));
   // Recompute the breakdown from the chosen nodes (single source of truth).
   result.d_in = vlinks.transfer_time(request.data_in, request.attach_node,
                                      result.nodes.front());
@@ -108,11 +140,69 @@ std::optional<RouteResult> ChainRouter::route(
   return result;
 }
 
+double ChainRouter::route_cost(const workload::UserRequest& request,
+                               const Placement& placement,
+                               RouteScratch& scratch) const {
+  const auto& vlinks = scenario_->vlinks();
+  const auto& network = scenario_->network();
+  const auto& catalog = scenario_->catalog();
+  const auto len = request.chain.size();
+
+  if (!fill_layers(request, placement, scratch)) return kInf;
+  const auto& layers = scratch.layers;
+
+  double best_total = kInf;
+  for (const NodeId v_s : layers[0]) {
+    const double d_in =
+        vlinks.transfer_time(request.data_in, request.attach_node, v_s);
+    if (d_in == kInf) continue;
+
+    auto& dp = scratch.dp;
+    dp.assign(layers[0].size(), kInf);
+    for (std::size_t c = 0; c < layers[0].size(); ++c) {
+      if (layers[0][c] == v_s) {
+        dp[c] = catalog.microservice(request.chain[0]).compute_gflop /
+                network.node(v_s).compute_gflops;
+      }
+    }
+    for (std::size_t pos = 1; pos < len; ++pos) {
+      const double data = request.edge_data[pos - 1];
+      const auto& prev = layers[pos - 1];
+      const auto& cur = layers[pos];
+      auto& next = scratch.next;
+      next.assign(cur.size(), kInf);
+      for (std::size_t c = 0; c < cur.size(); ++c) {
+        const NodeId k = cur[c];
+        const double compute =
+            catalog.microservice(request.chain[pos]).compute_gflop /
+            network.node(k).compute_gflops;
+        for (std::size_t p = 0; p < prev.size(); ++p) {
+          if (dp[p] == kInf) continue;
+          const double transfer = vlinks.transfer_time(data, prev[p], k);
+          const double cand = dp[p] + transfer + compute;
+          if (cand < next[c]) next[c] = cand;
+        }
+      }
+      dp.swap(next);
+    }
+
+    for (std::size_t c = 0; c < layers[len - 1].size(); ++c) {
+      if (scratch.dp[c] == kInf) continue;
+      const NodeId v_d = layers[len - 1][c];
+      const double d_out = vlinks.transfer_time(request.data_out, v_d, v_s);
+      const double total = d_in + scratch.dp[c] + d_out;
+      if (total < best_total) best_total = total;
+    }
+  }
+  return best_total;
+}
+
 std::optional<Assignment> ChainRouter::route_all(
     const Placement& placement) const {
   Assignment assignment(*scenario_);
+  RouteScratch scratch;
   for (const auto& request : scenario_->requests()) {
-    auto routed = route(request, placement);
+    auto routed = route(request, placement, scratch);
     if (!routed) return std::nullopt;
     for (std::size_t pos = 0; pos < routed->nodes.size(); ++pos) {
       assignment.set(request.id, static_cast<int>(pos), routed->nodes[pos]);

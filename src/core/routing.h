@@ -26,6 +26,18 @@ struct RouteResult {
   double total() const { return d_in + compute + transfer + d_out; }
 };
 
+/// Reusable DP buffers for ChainRouter. Buffers grow to the largest
+/// chain/candidate-set seen and are never shrunk, so a long-lived scratch
+/// makes the steady-state routing path allocation-free. One scratch per
+/// thread; a scratch must not be shared between concurrent route calls.
+struct RouteScratch {
+  std::vector<std::vector<NodeId>> layers;
+  std::vector<double> dp;
+  std::vector<double> next;
+  std::vector<std::vector<int>> back;
+  std::vector<NodeId> route;
+};
+
 class ChainRouter {
  public:
   explicit ChainRouter(const Scenario& scenario) : scenario_(&scenario) {}
@@ -34,6 +46,19 @@ class ChainRouter {
   /// instance anywhere (service failure — the paper's cloud-fallback case).
   std::optional<RouteResult> route(const workload::UserRequest& request,
                                    const Placement& placement) const;
+
+  /// As above, reusing the caller's scratch buffers; only the returned
+  /// RouteResult allocates.
+  std::optional<RouteResult> route(const workload::UserRequest& request,
+                                   const Placement& placement,
+                                   RouteScratch& scratch) const;
+
+  /// Optimal completion time only — no back-pointers, no reconstruction, and
+  /// no allocations once the scratch has warmed up. Returns +infinity when
+  /// the request is unroutable. This is the kernel of the incremental
+  /// candidate-scoring path.
+  double route_cost(const workload::UserRequest& request,
+                    const Placement& placement, RouteScratch& scratch) const;
 
   /// Routes every user; returns nullopt if any user is unroutable.
   std::optional<Assignment> route_all(const Placement& placement) const;

@@ -1,0 +1,212 @@
+#include "core/routing_engine.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/timer.h"
+
+namespace socl::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+void RoutingCounters::merge(const RoutingCounters& other) {
+  routes_computed += other.routes_computed;
+  cache_hits += other.cache_hits;
+  reroutes_avoided += other.reroutes_avoided;
+  candidates_scored += other.candidates_scored;
+  cache_refreshes += other.cache_refreshes;
+  refresh_seconds += other.refresh_seconds;
+  score_seconds += other.score_seconds;
+}
+
+RoutingEngine::RoutingEngine(const Scenario& scenario, int threads,
+                             bool parallel)
+    : scenario_(&scenario),
+      router_(scenario),
+      threads_(threads),
+      parallel_(parallel) {
+  users_of_.assign(static_cast<std::size_t>(scenario.num_microservices()),
+                   {});
+  for (const auto& request : scenario.requests()) {
+    for (const MsId m : request.chain) {
+      auto& users = users_of_[static_cast<std::size_t>(m)];
+      // Requests are visited in id order, so a repeated microservice in one
+      // chain would land adjacently — dedupe against the tail.
+      if (users.empty() || users.back() != request.id) {
+        users.push_back(request.id);
+      }
+    }
+  }
+  scratches_.resize(1);  // serial-path scratch; grows with the pool
+}
+
+util::ThreadPool& RoutingEngine::pool() {
+  if (!pool_) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(threads_ > 0 ? threads_ : 0));
+    if (scratches_.size() < pool_->size()) scratches_.resize(pool_->size());
+  }
+  return *pool_;
+}
+
+double RoutingEngine::combine(double cost, double total_latency) const {
+  const auto& constants = scenario_->constants();
+  return constants.lambda * cost +
+         (1.0 - constants.lambda) * constants.latency_weight * total_latency;
+}
+
+void RoutingEngine::refresh(const Placement& placement) {
+  util::WallTimer timer;
+  cached_latency_.assign(scenario_->requests().size(), kInf);
+  cached_routes_.resize(scenario_->requests().size());
+  cached_latency_sum_ = 0.0;
+  RouteScratch& scratch = scratches_.front();
+  for (const auto& request : scenario_->requests()) {
+    auto route = router_.route(request, placement, scratch);
+    ++counters_.routes_computed;
+    const double d = route ? route->total() : kInf;
+    cached_latency_[static_cast<std::size_t>(request.id)] = d;
+    auto& cached = cached_routes_[static_cast<std::size_t>(request.id)];
+    if (route) {
+      cached = std::move(route->nodes);
+    } else {
+      cached.clear();
+    }
+    cached_latency_sum_ += d;
+  }
+  ++epoch_;
+  ++counters_.cache_refreshes;
+  counters_.refresh_seconds += timer.elapsed_seconds();
+}
+
+double RoutingEngine::objective_without(MsId m, NodeId k,
+                                        const Placement& trial,
+                                        ScoreContext& ctx) const {
+  // An unroutable cached placement scores +inf for every neighbour reachable
+  // by a removal; bail before the per-user deltas can turn inf into NaN.
+  if (!std::isfinite(cached_latency_sum_)) return kInf;
+  // Removing (m, k) can only affect users whose current optimal route sends
+  // some occurrence of m to k — everyone else's optimum is still available
+  // in the smaller feasible set. This cuts removal scans by roughly the
+  // replica count.
+  double latency = cached_latency_sum_;
+  for (const int h : users_of_[static_cast<std::size_t>(m)]) {
+    const auto& request = scenario_->request(h);
+    const auto& route = cached_routes_[static_cast<std::size_t>(h)];
+    bool affected = route.empty();
+    if (!affected) {
+      // Scan every chain position: a chain may visit m more than once, and
+      // any occurrence routed to k invalidates the cached latency.
+      for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+        if (request.chain[pos] == m && route[pos] == k) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (!affected) {
+      ++ctx.counters.reroutes_avoided;
+      ++ctx.counters.cache_hits;
+      continue;
+    }
+    const double rerouted = router_.route_cost(request, trial, ctx.scratch);
+    ++ctx.counters.routes_computed;
+    if (rerouted == kInf) return kInf;
+    latency += rerouted - cached_latency_[static_cast<std::size_t>(h)];
+  }
+  return combine(trial.deployment_cost(scenario_->catalog()), latency);
+}
+
+double RoutingEngine::objective_without(MsId m, NodeId k,
+                                        const Placement& trial) {
+  ScoreContext ctx{scratches_.front(), counters_};
+  return objective_without(m, k, trial, ctx);
+}
+
+double RoutingEngine::objective_with_change(const Placement& trial,
+                                            MsId changed,
+                                            ScoreContext& ctx) const {
+  if (!std::isfinite(cached_latency_sum_)) return kInf;
+  double latency = cached_latency_sum_;
+  for (const int h : users_of_[static_cast<std::size_t>(changed)]) {
+    const auto& request = scenario_->request(h);
+    const double rerouted = router_.route_cost(request, trial, ctx.scratch);
+    ++ctx.counters.routes_computed;
+    if (rerouted == kInf) return kInf;
+    latency += rerouted - cached_latency_[static_cast<std::size_t>(h)];
+  }
+  return combine(trial.deployment_cost(scenario_->catalog()), latency);
+}
+
+double RoutingEngine::objective_with_change(const Placement& trial,
+                                            MsId changed) {
+  ScoreContext ctx{scratches_.front(), counters_};
+  return objective_with_change(trial, changed, ctx);
+}
+
+double RoutingEngine::full_objective(const Placement& placement,
+                                     ScoreContext& ctx) const {
+  double latency = 0.0;
+  for (const auto& request : scenario_->requests()) {
+    const double d = router_.route_cost(request, placement, ctx.scratch);
+    ++ctx.counters.routes_computed;
+    if (d == kInf) return kInf;
+    latency += d;
+  }
+  return combine(placement.deployment_cost(scenario_->catalog()), latency);
+}
+
+double RoutingEngine::full_objective(const Placement& placement) {
+  ScoreContext ctx{scratches_.front(), counters_};
+  return full_objective(placement, ctx);
+}
+
+std::vector<double> RoutingEngine::score_candidates(
+    std::size_t n,
+    const std::function<double(std::size_t, ScoreContext&)>& score) {
+  util::WallTimer timer;
+  std::vector<double> results(n, kInf);
+  counters_.candidates_scored += static_cast<std::int64_t>(n);
+
+  // Small batches are not worth the dispatch; the serial path also keeps
+  // single-threaded builds allocation-free via the slot-0 scratch.
+  const bool fan_out = parallel_ && n >= 8 &&
+                       (threads_ == 0 || threads_ > 1);
+  if (!fan_out) {
+    ScoreContext ctx{scratches_.front(), counters_};
+    for (std::size_t i = 0; i < n; ++i) results[i] = score(i, ctx);
+    counters_.score_seconds += timer.elapsed_seconds();
+    return results;
+  }
+
+  util::ThreadPool& workers = pool();
+  std::vector<RoutingCounters> worker_counters(workers.size());
+  workers.parallel_for_workers(n, [&](std::size_t worker, std::size_t i) {
+    ScoreContext ctx{scratches_[worker], worker_counters[worker]};
+    results[i] = score(i, ctx);
+  });
+  // Integer counters are summed, so the merge order cannot change totals.
+  for (const auto& wc : worker_counters) counters_.merge(wc);
+  counters_.score_seconds += timer.elapsed_seconds();
+  return results;
+}
+
+std::optional<Assignment> RoutingEngine::route_all(
+    const Placement& placement) {
+  Assignment assignment(*scenario_);
+  RouteScratch& scratch = scratches_.front();
+  for (const auto& request : scenario_->requests()) {
+    auto routed = router_.route(request, placement, scratch);
+    ++counters_.routes_computed;
+    if (!routed) return std::nullopt;
+    for (std::size_t pos = 0; pos < routed->nodes.size(); ++pos) {
+      assignment.set(request.id, static_cast<int>(pos), routed->nodes[pos]);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace socl::core

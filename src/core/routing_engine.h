@@ -1,0 +1,150 @@
+// Incremental routing engine for the combination stage.
+//
+// The multi-scale combiner (Algorithm 3) scores hundreds of candidate moves
+// per round, and each exact score re-runs the ChainRouter DP for the users a
+// move can affect. This engine centralises everything that makes those scans
+// cheap:
+//   - a placement-epoch-keyed per-request route cache: refresh() routes every
+//     user once and stamps an epoch; candidate scoring then reroutes only the
+//     users whose chains contain the changed microservice, and for removals
+//     only the users whose cached route actually used the removed instance;
+//   - per-thread reusable DP scratch buffers (RouteScratch), so the
+//     steady-state scoring path performs no heap allocations;
+//   - score_candidates(): a deterministic fan-out of independent candidate
+//     scores over util::ThreadPool. Scores are written by candidate index and
+//     every worker computes a pure function of the cache, so the result is
+//     bit-identical to the serial loop regardless of thread count;
+//   - RoutingCounters: routes computed, cache hits, reroutes avoided, and
+//     wall time per stage, threaded into CombinationStats and printed by
+//     bench_micro / bench_ablation so speedups are measured, not asserted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/routing.h"
+#include "util/thread_pool.h"
+
+namespace socl::core {
+
+/// Perf counters of the incremental scoring path. Integer counters are
+/// summed across workers (order-independent), so parallel runs report the
+/// same totals as serial ones.
+struct RoutingCounters {
+  /// Full chain-DP evaluations (route / route_cost runs).
+  std::int64_t routes_computed = 0;
+  /// Per-user latencies served straight from the epoch cache while scoring.
+  std::int64_t cache_hits = 0;
+  /// Users skipped during removal scoring because their cached route never
+  /// touched the removed instance (the cache's headline saving).
+  std::int64_t reroutes_avoided = 0;
+  /// Candidate moves scored through score_candidates().
+  std::int64_t candidates_scored = 0;
+  /// refresh() calls (one full re-route of every user each).
+  std::int64_t cache_refreshes = 0;
+  double refresh_seconds = 0.0;  ///< wall time inside refresh()
+  double score_seconds = 0.0;    ///< wall time inside score_candidates()
+
+  void merge(const RoutingCounters& other);
+};
+
+class RoutingEngine {
+ public:
+  /// `threads` sizes the shared pool (0 = hardware concurrency);
+  /// `parallel` == false forces every fan-out onto the calling thread.
+  explicit RoutingEngine(const Scenario& scenario, int threads = 0,
+                         bool parallel = true);
+
+  // ---- Placement-epoch route cache ----
+
+  /// Routes every user under `placement`, replacing the cache and bumping
+  /// the epoch. Must be called before the objective_* shortcuts.
+  void refresh(const Placement& placement);
+  /// Epoch of the current cache; 0 means "never refreshed".
+  std::uint64_t epoch() const { return epoch_; }
+  double cached_latency_sum() const { return cached_latency_sum_; }
+  double cached_latency(int user) const {
+    return cached_latency_[static_cast<std::size_t>(user)];
+  }
+  const std::vector<NodeId>& cached_route(int user) const {
+    return cached_routes_[static_cast<std::size_t>(user)];
+  }
+
+  // ---- Incremental exact objectives (cache + scratch) ----
+
+  /// Per-worker scoring context handed to score_candidates callbacks.
+  struct ScoreContext {
+    RouteScratch& scratch;
+    RoutingCounters& counters;
+  };
+
+  /// Exact objective of `trial`, assuming it equals the cached placement
+  /// minus the single instance (m, k): reroutes only users whose cached
+  /// route used that instance at some chain position (all positions are
+  /// checked, so chains visiting m twice score correctly).
+  double objective_without(MsId m, NodeId k, const Placement& trial,
+                           ScoreContext& ctx) const;
+  double objective_without(MsId m, NodeId k, const Placement& trial);
+
+  /// Exact objective of `trial`, assuming it differs from the cached
+  /// placement only in instances of microservice `changed`.
+  double objective_with_change(const Placement& trial, MsId changed,
+                               ScoreContext& ctx) const;
+  double objective_with_change(const Placement& trial, MsId changed);
+
+  /// From-scratch exact objective (no cache): routes every user.
+  double full_objective(const Placement& placement, ScoreContext& ctx) const;
+  double full_objective(const Placement& placement);
+
+  // ---- Candidate fan-out ----
+
+  /// Scores candidates [0, n) with `score(i, ctx)` and returns the scores by
+  /// index. Runs on the shared pool when parallel scoring is enabled and n
+  /// is large enough to amortise the dispatch; otherwise inline. The
+  /// callback must be pure (read-only on shared state, writes only through
+  /// ctx), which makes the parallel result bit-identical to the serial one.
+  std::vector<double> score_candidates(
+      std::size_t n,
+      const std::function<double(std::size_t, ScoreContext&)>& score);
+
+  /// Routes every user with scratch reuse; nullopt if any user is
+  /// unroutable. Counted in the engine's counters.
+  std::optional<Assignment> route_all(const Placement& placement);
+
+  /// λ·cost + (1-λ)·w·latency — the objective combiner of Eq. (3)/(8).
+  double combine(double cost, double total_latency) const;
+
+  /// Shared worker pool (lazily created). Also used by the combiner's
+  /// latency-loss stage so pools are not re-spawned every round.
+  util::ThreadPool& pool();
+  bool parallel_enabled() const { return parallel_; }
+
+  const RoutingCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+  const ChainRouter& router() const { return router_; }
+
+ private:
+  const Scenario* scenario_;
+  ChainRouter router_;
+  int threads_;
+  bool parallel_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  /// users_of_[m]: ids of users whose chain contains m (each id once, even
+  /// when a chain visits m repeatedly).
+  std::vector<std::vector<int>> users_of_;
+
+  std::uint64_t epoch_ = 0;
+  std::vector<double> cached_latency_;
+  std::vector<std::vector<NodeId>> cached_routes_;
+  double cached_latency_sum_ = 0.0;
+
+  /// Worker-slot scratches (index 0 doubles as the serial-path scratch).
+  std::vector<RouteScratch> scratches_;
+  RoutingCounters counters_;
+};
+
+}  // namespace socl::core

@@ -46,11 +46,14 @@ Solution SoCL::solve(const Scenario& scenario) const {
 
   Solution solution{placement, std::nullopt, {}, 0.0, stats};
   const Evaluator evaluator(scenario);
-  solution.assignment = evaluator.router().route_all(placement);
+  // Final exact routing goes through the combiner's engine so its warmed
+  // scratch buffers are reused and the pass lands in the routing counters.
+  solution.assignment = combiner.engine().route_all(placement);
   solution.evaluation =
       solution.assignment
           ? evaluator.evaluate(placement, *solution.assignment)
           : evaluator.evaluate(placement);
+  solution.combination_stats.routing = combiner.engine().counters();
   solution.runtime_seconds = timer.elapsed_seconds();
   return solution;
 }

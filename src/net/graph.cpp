@@ -1,5 +1,6 @@
 #include "net/graph.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -34,7 +35,6 @@ LinkId EdgeNetwork::add_link_with_rate(NodeId a, NodeId b, double rate_gbps) {
   if (a == b) throw std::invalid_argument("EdgeNetwork: self-loop");
   checked(a);
   checked(b);
-  if (has_link(a, b)) throw std::invalid_argument("EdgeNetwork: parallel link");
   if (rate_gbps <= 0.0) {
     throw std::invalid_argument("EdgeNetwork: non-positive link rate");
   }
@@ -57,12 +57,15 @@ bool EdgeNetwork::has_link(NodeId a, NodeId b) const {
 }
 
 double EdgeNetwork::link_rate(NodeId a, NodeId b) const {
+  // With parallel links the strongest one is the direct-link rate.
+  double best = 0.0;
   for (const auto& inc : neighbors(a)) {
     if (inc.neighbor == b) {
-      return links_[static_cast<std::size_t>(inc.link)].rate_gbps;
+      best = std::max(best,
+                      links_[static_cast<std::size_t>(inc.link)].rate_gbps);
     }
   }
-  return 0.0;
+  return best;
 }
 
 bool EdgeNetwork::connected() const {

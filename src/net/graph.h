@@ -47,8 +47,9 @@ struct EdgeLink {
 double shannon_rate_gbps(double base_bandwidth, double tx_power_w,
                          double channel_gain, double noise_w);
 
-/// Weighted undirected multigraph-free edge network. Node and link ids are
-/// dense indices assigned in insertion order.
+/// Weighted undirected edge network (parallel links permitted, self-loops
+/// rejected). Node and link ids are dense indices assigned in insertion
+/// order.
 class EdgeNetwork {
  public:
   /// Thermal noise power N used when deriving link rates.
@@ -59,7 +60,9 @@ class EdgeNetwork {
 
   /// Adds an undirected link between distinct existing nodes a and b with the
   /// given base bandwidth and channel gain; the Shannon rate is derived from
-  /// node a's transmission power. Parallel links are rejected.
+  /// node a's transmission power. Parallel links are allowed (e.g. a wired
+  /// and a wireless channel between the same pair); routing tie-breaks pick
+  /// the stronger one.
   LinkId add_link(NodeId a, NodeId b, double base_bandwidth,
                   double channel_gain);
 
@@ -90,7 +93,8 @@ class EdgeNetwork {
   std::size_t degree(NodeId k) const { return adjacency_.at(checked(k)).size(); }
 
   bool has_link(NodeId a, NodeId b) const;
-  /// Rate of the direct link a-b; 0 if absent.
+  /// Rate of the direct link a-b (the strongest one when links are
+  /// parallel); 0 if absent.
   double link_rate(NodeId a, NodeId b) const;
 
   /// True when every node can reach every other node.

@@ -10,6 +10,7 @@ ShortestPaths::ShortestPaths(const EdgeNetwork& network)
     : network_(&network), n_(network.num_nodes()) {
   hops_.assign(n_ * n_, unreachable());
   parent_.assign(n_ * n_, kInvalidNode);
+  parent_link_.assign(n_ * n_, -1);
   inv_rate_.assign(n_ * n_, std::numeric_limits<double>::infinity());
   bottleneck_.assign(n_ * n_, 0.0);
 
@@ -37,16 +38,20 @@ ShortestPaths::ShortestPaths(const EdgeNetwork& network)
         if (dv == unreachable()) {
           dv = du + 1;
           parent_[idx(source, v)] = u;
+          parent_link_[idx(source, v)] = inc.link;
           bottleneck_[idx(source, v)] = cand_bottleneck;
           inv_rate_[idx(source, v)] = cand_inv;
           frontier.push_back(v);
         } else if (dv == du + 1) {
-          // Same hop count: prefer the stronger path.
+          // Same hop count: prefer the stronger path. Parallel links between
+          // u and v arrive as separate incidences, so the winning link id is
+          // recorded alongside the parent node.
           auto& best_bottleneck = bottleneck_[idx(source, v)];
           auto& best_inv = inv_rate_[idx(source, v)];
           if (cand_bottleneck > best_bottleneck ||
               (cand_bottleneck == best_bottleneck && cand_inv < best_inv)) {
             parent_[idx(source, v)] = u;
+            parent_link_[idx(source, v)] = inc.link;
             best_bottleneck = cand_bottleneck;
             best_inv = cand_inv;
           }
@@ -71,16 +76,17 @@ std::vector<NodeId> ShortestPaths::path(NodeId a, NodeId b) const {
 }
 
 std::vector<LinkId> ShortestPaths::path_links(NodeId a, NodeId b) const {
+  // Walk the recorded parent links instead of re-deriving incidences: with
+  // parallel edges the first incident link between two path nodes can be a
+  // different (weaker) link than the one whose rate produced the recorded
+  // bottleneck_rate / inverse_rate_sum.
   std::vector<LinkId> links;
-  const auto nodes = path(a, b);
-  for (std::size_t i = 1; i < nodes.size(); ++i) {
-    for (const auto& inc : network_->neighbors(nodes[i - 1])) {
-      if (inc.neighbor == nodes[i]) {
-        links.push_back(inc.link);
-        break;
-      }
-    }
+  if (hops(a, b) == unreachable()) return links;
+  for (NodeId cur = b; cur != kInvalidNode && cur != a;
+       cur = parent_[idx(a, cur)]) {
+    links.push_back(parent_link_[idx(a, cur)]);
   }
+  std::reverse(links.begin(), links.end());
   return links;
 }
 

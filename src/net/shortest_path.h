@@ -32,7 +32,9 @@ class ShortestPaths {
   /// {a} when a == b.
   std::vector<NodeId> path(NodeId a, NodeId b) const;
 
-  /// Link ids along path(a, b); empty when a == b or unreachable.
+  /// Link ids along path(a, b); empty when a == b or unreachable. The ids
+  /// are the exact links the BFS tie-break selected, so on parallel edges
+  /// they are consistent with bottleneck_rate / inverse_rate_sum.
   std::vector<LinkId> path_links(NodeId a, NodeId b) const;
 
   /// Minimum link rate along the min-hop path (bottleneck bandwidth);
@@ -53,6 +55,7 @@ class ShortestPaths {
   std::size_t n_;
   std::vector<int> hops_;           // n*n
   std::vector<NodeId> parent_;      // n*n: parent of b on path from a
+  std::vector<LinkId> parent_link_; // n*n: link into b the BFS selected
   std::vector<double> inv_rate_;    // n*n: Σ 1/rate along path
   std::vector<double> bottleneck_;  // n*n
 };

@@ -123,6 +123,13 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  // casting a NaN (or an out-of-ptrdiff-range ±inf fraction) to an integer
+  // is undefined behaviour, so non-finite samples are tallied separately
+  // instead of being binned.
+  if (!std::isfinite(x)) {
+    ++non_finite_;
+    return;
+  }
   const double frac = (x - lo_) / (hi_ - lo_);
   auto bin = static_cast<std::ptrdiff_t>(
       frac * static_cast<double>(counts_.size()));

@@ -52,8 +52,9 @@ double cosine_similarity(std::span<const double> a, std::span<const double> b);
 double pearson_correlation(std::span<const double> a,
                            std::span<const double> b);
 
-/// Fixed-width histogram over [lo, hi); values outside are clamped to the
-/// boundary bins. Used for latency distribution reporting.
+/// Fixed-width histogram over [lo, hi); finite values outside are clamped to
+/// the boundary bins, NaN/±inf samples land in a separate overflow counter.
+/// Used for latency distribution reporting.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -61,7 +62,10 @@ class Histogram {
   void add(double x);
   std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
   std::size_t bins() const { return counts_.size(); }
+  /// Number of finite samples binned so far (excludes non_finite()).
   std::size_t total() const { return total_; }
+  /// Number of NaN/±inf samples seen (e.g. unroutable-request latencies).
+  std::size_t non_finite() const { return non_finite_; }
   double bin_low(std::size_t bin) const;
   double bin_high(std::size_t bin) const;
 
@@ -73,6 +77,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t non_finite_ = 0;
 };
 
 }  // namespace socl::util

@@ -41,6 +41,12 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_workers(n, [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::parallel_for_workers(
+    std::size_t n,
+    const std::function<void(std::size_t worker, std::size_t i)>& fn) {
   if (n == 0) return;
   // Chunked dispatch: one task per worker pulling indices from a shared
   // counter keeps queue overhead constant regardless of n.
@@ -53,12 +59,12 @@ void ThreadPool::parallel_for(std::size_t n,
   std::vector<std::future<void>> futures;
   futures.reserve(tasks);
   for (std::size_t t = 0; t < tasks; ++t) {
-    futures.push_back(submit([&, next, first_error] {
+    futures.push_back(submit([&, next, first_error, t] {
       for (;;) {
         const std::size_t i = next->fetch_add(1);
         if (i >= n || first_error->load()) return;
         try {
-          fn(i);
+          fn(t, i);
         } catch (...) {
           if (!first_error->exchange(true)) {
             std::scoped_lock lock(error_mutex);

@@ -50,6 +50,14 @@ class ThreadPool {
   /// Exceptions from iterations are rethrown (first one wins).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Like parallel_for, but passes the dense worker slot (0 <= worker <
+  /// min(n, size())) executing the iteration, so callers can maintain
+  /// per-worker scratch state without locking. A given slot never runs two
+  /// iterations concurrently.
+  void parallel_for_workers(
+      std::size_t n,
+      const std::function<void(std::size_t worker, std::size_t i)>& fn);
+
  private:
   void worker_loop();
 

@@ -1,7 +1,6 @@
 #include "workload/microservice.h"
 
 #include <stdexcept>
-#include <unordered_set>
 
 namespace socl::workload {
 
@@ -21,13 +20,12 @@ void validate(const UserRequest& request, int num_microservices) {
   if (request.edge_data.size() + 1 != request.chain.size()) {
     throw std::invalid_argument("UserRequest: edge_data/chain size mismatch");
   }
-  std::unordered_set<MsId> seen;
+  // A microservice may appear multiple times in a chain (e.g. auth called
+  // before and after a payment step); the layered routing DP handles
+  // repeats natively, so only the id range is validated here.
   for (MsId m : request.chain) {
     if (m < 0 || m >= num_microservices) {
       throw std::invalid_argument("UserRequest: microservice id out of range");
-    }
-    if (!seen.insert(m).second) {
-      throw std::invalid_argument("UserRequest: repeated microservice");
     }
   }
   for (double r : request.edge_data) {

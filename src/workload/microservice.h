@@ -37,7 +37,8 @@ struct UserRequest {
   int id = -1;
   /// Edge server the user currently associates with (U_k membership).
   net::NodeId attach_node = net::kInvalidNode;
-  /// Ordered microservice chain M_h (distinct entries; processing order).
+  /// Ordered microservice chain M_h (processing order; a microservice may
+  /// appear at multiple positions).
   std::vector<MsId> chain;
   /// Data volume r_{m_i→m_j} on chain edge (pos → pos+1);
   /// size == chain.size() - 1.
@@ -51,12 +52,14 @@ struct UserRequest {
 
   /// True when m appears anywhere in this request's chain.
   bool uses(MsId m) const;
-  /// Position of m in the chain, or -1.
+  /// Position of the FIRST occurrence of m in the chain, or -1. Callers
+  /// that must see every occurrence (repeats are allowed) should scan the
+  /// chain directly.
   int position_of(MsId m) const;
 };
 
 /// Validates structural invariants (non-empty chain, matching edge_data
-/// length, no repeated microservice, positive data sizes).
+/// length, in-range microservice ids, positive data sizes).
 /// Throws std::invalid_argument on violation.
 void validate(const UserRequest& request, int num_microservices);
 

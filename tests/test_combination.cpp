@@ -7,6 +7,8 @@
 #include <cmath>
 #include <limits>
 
+#include "workload/catalog.h"
+
 namespace socl::core {
 namespace {
 
@@ -207,6 +209,84 @@ TEST(Combiner, EstimatedObjectiveInfiniteWhenServiceMissing) {
   Combiner combiner(fx.scenario, fx.partitioning, {});
   const Placement empty(fx.scenario);
   EXPECT_TRUE(std::isinf(combiner.estimated_objective(empty)));
+}
+
+// Minimal two-node scenario whose single request makes services 0 and 1
+// chain-adjacent (and leaves 2 unconnected) for the conflict-filter tests.
+struct ConflictFixture {
+  Scenario scenario;
+  Partitioning partitioning;
+  Combiner combiner;
+
+  ConflictFixture()
+      : scenario(make_conflict_scenario()),
+        partitioning(initial_partition(scenario, {})),
+        combiner(scenario, partitioning, {}) {}
+
+  static Scenario make_conflict_scenario() {
+    net::EdgeNetwork network;
+    network.add_node({});
+    network.add_node({});
+    network.add_link_with_rate(0, 1, 10.0);
+    workload::UserRequest request;
+    request.id = 0;
+    request.attach_node = 0;
+    request.chain = {0, 1};
+    request.edge_data = {1.0};
+    return Scenario(std::move(network), workload::tiny_catalog(), {request},
+                    {});
+  }
+};
+
+TEST(Combiner, ConflictFilterDiscardsByZetaNotGradient) {
+  // Algorithm 3 line 4 keeps the SMALLER ζ of a chain-adjacent pair. The
+  // input is gradient-ascending, and deploy-cost differences can make the
+  // gradient order disagree with the ζ order — entry 0 has the better
+  // gradient but the worse ζ, so it is the one that must be discarded.
+  ConflictFixture fx;
+  const std::vector<LatencyLoss> omega_set{
+      {/*service=*/0, /*node=*/0, /*zeta=*/5.0, /*gradient=*/-10.0},
+      {/*service=*/1, /*node=*/1, /*zeta=*/1.0, /*gradient=*/-2.0},
+  };
+  const auto discard = fx.combiner.dependency_conflict_filter(omega_set);
+  ASSERT_EQ(discard.size(), 2u);
+  EXPECT_TRUE(discard[0]);
+  EXPECT_FALSE(discard[1]);
+}
+
+TEST(Combiner, ConflictFilterTieBreaksOnGradientThenOrder) {
+  ConflictFixture fx;
+  // Equal ζ: the smaller gradient wins.
+  const std::vector<LatencyLoss> gradient_tie{
+      {0, 0, /*zeta=*/2.0, /*gradient=*/-1.0},
+      {1, 1, /*zeta=*/2.0, /*gradient=*/-7.0},
+  };
+  const auto by_gradient = fx.combiner.dependency_conflict_filter(gradient_tie);
+  EXPECT_TRUE(by_gradient[0]);
+  EXPECT_FALSE(by_gradient[1]);
+  // Fully identical scores: the earlier entry is kept, deterministically.
+  const std::vector<LatencyLoss> full_tie{
+      {0, 0, 2.0, -1.0},
+      {1, 1, 2.0, -1.0},
+  };
+  const auto by_order = fx.combiner.dependency_conflict_filter(full_tie);
+  EXPECT_FALSE(by_order[0]);
+  EXPECT_TRUE(by_order[1]);
+}
+
+TEST(Combiner, ConflictFilterIgnoresNonAdjacentAndSameService) {
+  ConflictFixture fx;
+  // Services 0 and 2 never appear adjacently; same-service pairs are the
+  // multi-instance case the per-service floor handles, not a conflict.
+  const std::vector<LatencyLoss> no_conflict{
+      {0, 0, 5.0, -10.0},
+      {2, 1, 1.0, -2.0},
+      {0, 1, 1.0, -2.0},
+  };
+  const auto discard = fx.combiner.dependency_conflict_filter(no_conflict);
+  for (std::size_t i = 0; i < discard.size(); ++i) {
+    EXPECT_FALSE(discard[i]) << "entry " << i;
+  }
 }
 
 }  // namespace

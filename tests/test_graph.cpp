@@ -65,13 +65,23 @@ TEST(EdgeNetwork, MissingLinkRateIsZero) {
   EXPECT_FALSE(net.has_link(0, 1));
 }
 
-TEST(EdgeNetwork, RejectsSelfLoopParallelAndBadRate) {
+TEST(EdgeNetwork, RejectsSelfLoopAndBadRate) {
   auto net = two_node_net();
   EXPECT_THROW(net.add_link_with_rate(0, 0, 1.0), std::invalid_argument);
-  EXPECT_THROW(net.add_link_with_rate(0, 1, 1.0), std::invalid_argument);
   net.add_node({});
   EXPECT_THROW(net.add_link_with_rate(0, 2, 0.0), std::invalid_argument);
   EXPECT_THROW(net.add_link_with_rate(0, 2, -5.0), std::invalid_argument);
+}
+
+TEST(EdgeNetwork, AllowsParallelLinksAndReportsStrongestRate) {
+  auto net = two_node_net(10.0);
+  const LinkId second = net.add_link_with_rate(0, 1, 25.0);
+  EXPECT_EQ(net.num_links(), 2u);
+  EXPECT_EQ(net.link(second).rate_gbps, 25.0);
+  EXPECT_EQ(net.degree(0), 2u);
+  // link_rate reports the strongest of the parallel channels, both ways.
+  EXPECT_DOUBLE_EQ(net.link_rate(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(net.link_rate(1, 0), 25.0);
 }
 
 TEST(EdgeNetwork, RejectsBadNodeIds) {

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/combination.h"
+#include "workload/catalog.h"
 
 namespace socl::core {
 namespace {
@@ -121,6 +122,58 @@ TEST(Incremental, OrphaningRemovalIsInfinite) {
         << "ms " << m;
     break;
   }
+}
+
+TEST(Incremental, RepeatedChainRemovalDetectsLaterOccurrence) {
+  // Chain {0, 1, 0}: the request visits microservice 0 twice and the DP
+  // routes the two visits to different nodes. Removing the instance used
+  // only by the SECOND visit must trigger a reroute — a check limited to
+  // position_of's first occurrence would serve a stale cached latency.
+  net::EdgeNetwork network;
+  for (int i = 0; i < 3; ++i) network.add_node({});
+  network.add_link_with_rate(0, 1, 10.0);
+  network.add_link_with_rate(1, 2, 10.0);
+
+  workload::UserRequest request;
+  request.id = 0;
+  request.attach_node = 0;
+  request.chain = {0, 1, 0};
+  // Heavy upload pins the first visit to the attach node; the heavy
+  // m1 -> m0 edge pulls the second visit onto m1's node.
+  request.edge_data = {1.0, 30.0};
+  request.data_in = 50.0;
+  request.data_out = 1.0;
+
+  Scenario scenario(std::move(network), workload::tiny_catalog(), {request},
+                    {});
+  Partitioning partitioning = initial_partition(scenario, {});
+  Combiner combiner(scenario, partitioning, {});
+
+  Placement base(scenario);
+  base.deploy(0, 0);
+  base.deploy(0, 2);
+  base.deploy(1, 2);
+  combiner.refresh_route_cache(base);
+
+  const auto& route = combiner.engine().cached_route(0);
+  ASSERT_EQ(route.size(), 3u);
+  ASSERT_EQ(route[0], 0) << "first visit should sit on the attach node";
+  ASSERT_EQ(route[2], 2) << "second visit should co-locate with m1";
+
+  Placement trial = base;
+  trial.remove(0, 2);
+
+  // The forced reroute genuinely changes the latency, so a stale cache
+  // would produce a different objective than the full evaluation.
+  RouteScratch scratch;
+  const double rerouted =
+      combiner.engine().router().route_cost(scenario.request(0), trial,
+                                            scratch);
+  ASSERT_GT(rerouted, combiner.engine().cached_latency(0) + 1e-9);
+
+  const double incremental = combiner.cached_objective_without(0, 2, trial);
+  const double full = combiner.serial_objective(trial);
+  EXPECT_NEAR(incremental, full, 1e-9);
 }
 
 // Sweep: equivalence holds across seeds and scales.

@@ -112,6 +112,43 @@ TEST(ShortestPaths, PrefersFewerHopsOverBandwidth) {
   EXPECT_EQ(sp.path(0, 2).size(), 2u);
 }
 
+TEST(ShortestPaths, ParallelLinksPathUsesBfsChosenLink) {
+  // Two parallel links 0-1: the weak one is inserted first so a naive
+  // "first incident link" lookup would disagree with the recorded
+  // bottleneck/inverse-rate metrics.
+  EdgeNetwork net;
+  net.add_node({});
+  net.add_node({});
+  const LinkId weak = net.add_link_with_rate(0, 1, 2.0);
+  const LinkId strong = net.add_link_with_rate(0, 1, 8.0);
+  ShortestPaths sp(net);
+  EXPECT_EQ(sp.hops(0, 1), 1);
+  EXPECT_DOUBLE_EQ(sp.bottleneck_rate(0, 1), 8.0);
+  EXPECT_NEAR(sp.inverse_rate_sum(0, 1), 1.0 / 8.0, 1e-12);
+  const auto links = sp.path_links(0, 1);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], strong);
+  EXPECT_NE(links[0], weak);
+  // The selected link's rate must reproduce the recorded path metrics.
+  EXPECT_DOUBLE_EQ(net.link(links[0]).rate_gbps, sp.bottleneck_rate(0, 1));
+}
+
+TEST(ShortestPaths, ParallelLinksConsistentOnMultiHopPath) {
+  // 0 =(3|30)= 1 -(20)- 2: the 0-1 leg has a weak-first parallel pair.
+  EdgeNetwork net;
+  for (int i = 0; i < 3; ++i) net.add_node({});
+  net.add_link_with_rate(0, 1, 3.0);
+  const LinkId strong = net.add_link_with_rate(0, 1, 30.0);
+  const LinkId tail = net.add_link_with_rate(1, 2, 20.0);
+  ShortestPaths sp(net);
+  const auto links = sp.path_links(0, 2);
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], strong);
+  EXPECT_EQ(links[1], tail);
+  EXPECT_DOUBLE_EQ(sp.bottleneck_rate(0, 2), 20.0);
+  EXPECT_NEAR(sp.inverse_rate_sum(0, 2), 1.0 / 30.0 + 1.0 / 20.0, 1e-12);
+}
+
 TEST(ShortestPaths, SymmetricHops) {
   auto net = path_graph();
   ShortestPaths sp(net);

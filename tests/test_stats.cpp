@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace socl::util {
 namespace {
@@ -144,6 +145,20 @@ TEST(HistogramTest, BinningAndClamping) {
   EXPECT_EQ(hist.bin_count(0), 2u);
   EXPECT_EQ(hist.bin_count(4), 2u);
   EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(HistogramTest, NonFiniteSamplesCountedSeparately) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(std::numeric_limits<double>::quiet_NaN());
+  hist.add(std::numeric_limits<double>::infinity());
+  hist.add(-std::numeric_limits<double>::infinity());
+  hist.add(5.0);
+  EXPECT_EQ(hist.non_finite(), 3u);
+  EXPECT_EQ(hist.total(), 1u);
+  // No bin absorbed the non-finite samples.
+  std::size_t binned = 0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) binned += hist.bin_count(b);
+  EXPECT_EQ(binned, 1u);
 }
 
 TEST(HistogramTest, BinEdges) {

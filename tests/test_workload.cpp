@@ -51,10 +51,21 @@ TEST(UserRequestValidate, RejectsEdgeDataMismatch) {
   EXPECT_THROW(validate(request, 3), std::invalid_argument);
 }
 
-TEST(UserRequestValidate, RejectsRepeatedMicroservice) {
+TEST(UserRequestValidate, AcceptsRepeatedMicroservice) {
+  // Chains may revisit a microservice (e.g. auth → pay → auth); the layered
+  // routing DP handles repeats, so validation must not reject them.
   auto request = valid_request();
   request.chain = {1, 1};
-  EXPECT_THROW(validate(request, 3), std::invalid_argument);
+  EXPECT_NO_THROW(validate(request, 3));
+}
+
+TEST(UserRequest, PositionOfReturnsFirstOccurrence) {
+  auto request = valid_request();
+  request.chain = {2, 1, 2};
+  request.edge_data = {1.0, 1.0};
+  EXPECT_EQ(request.position_of(2), 0);
+  EXPECT_EQ(request.position_of(1), 1);
+  EXPECT_EQ(request.position_of(0), -1);
 }
 
 TEST(UserRequestValidate, RejectsOutOfRangeId) {
