@@ -35,6 +35,10 @@ inline void banner(const std::string& figure, const std::string& caption) {
                "=\n";
 }
 
+/// True when SOCL_BENCH_TINY is set: benches shrink their scenario/slot
+/// counts to smoke-test size so CI can execute every binary end-to-end.
+inline bool tiny_mode() { return std::getenv("SOCL_BENCH_TINY") != nullptr; }
+
 /// Writes the CSV mirror when SOCL_BENCH_CSV is set in the environment.
 inline void maybe_write_csv(const util::Table& table,
                             const std::string& name) {

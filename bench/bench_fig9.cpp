@@ -42,15 +42,18 @@ int main() {
           latencies.push_back(sample.latency_ms);
         }
       }
+      const double ps[] = {50.0, 95.0};
+      const auto q = latencies.empty()
+                         ? std::vector<double>{0.0, 0.0}
+                         : util::quantiles(std::move(latencies), ps);
       table.row()
           .integer(users)
           .cell(algorithm->name())
           .num(solution.evaluation.objective, 1)
           .num(solution.evaluation.deployment_cost, 1)
           .num(solution.evaluation.total_latency, 1)
-          .num(latencies.empty() ? 0.0 : util::median(latencies), 3)
-          .num(latencies.empty() ? 0.0 : util::percentile(latencies, 95.0),
-               3);
+          .num(q[0], 3)
+          .num(q[1], 3);
     }
   }
 

@@ -1,29 +1,50 @@
 // Online provisioning study (extension): warm-started slot-to-slot control
 // (core::OnlineSoCL) vs re-solving from scratch every slot, over a shared
-// mobility trace. Reports objective drift, control-loop runtime, and
-// deployment churn (instance add/remove between slots — each is a container
-// cold start in a real deployment, which the warm start avoids).
+// mobility trace. Reports objective drift, control-loop runtime, deployment
+// churn, and the cold starts that churn causes as measured by the serverless
+// runtime (src/serverless/): each slot's placement is rolled out against the
+// previous slot's, churned-in instances boot cold, and the shared arrival
+// stream counts the requests that pay for it.
 #include "bench_common.h"
 
 #include "core/online.h"
+#include "serverless/runtime.h"
 #include "util/stats.h"
 #include "workload/mobility.h"
 
 int main() {
   using namespace socl;
+  const bool tiny = bench::tiny_mode();
+  const int nodes = tiny ? 8 : 12;
+  const int users = tiny ? 20 : 60;
+  const int slots = tiny ? 4 : 24;
   bench::banner("Online",
-                "warm-started online control vs per-slot full re-solve (12 "
-                "nodes, 60 users, 24 slots)");
+                "warm-started online control vs per-slot full re-solve (" +
+                    std::to_string(nodes) + " nodes, " +
+                    std::to_string(users) + " users, " +
+                    std::to_string(slots) + " slots)");
 
-  core::ScenarioConfig config = bench::paper_config(12, 60, 7000.0);
-  const int slots = 24;
+  core::ScenarioConfig config = bench::paper_config(nodes, users, 7000.0);
 
   struct Series {
     util::RunningStats objective;
     util::RunningStats runtime;
     util::RunningStats churn;
+    util::RunningStats cold_starts;
+    util::RunningStats cold_wait_ms;
   };
   Series online_series, resolve_series;
+
+  // Rollout measurement: one warm container per deployed instance, carried
+  // instances stay warm across the slot boundary, churned-in ones boot cold.
+  serverless::ServerlessConfig runtime_config;
+  // Boots slow relative to the measurement window so rollout cold starts
+  // actually intercept traffic (a 0.5 s boot is over before the first-stage
+  // transfers deliver any request).
+  runtime_config.cold_start_mean_s = 3.0;
+  runtime_config.cold_start_sigma = 0.0;
+  runtime_config.policy_tick_s = 0.0;
+  const serverless::FixedPoolPolicy rollout_policy(1);
 
   // Shared mobility trace.
   auto run = [&](bool use_online, Series& series) {
@@ -52,6 +73,23 @@ int main() {
         series.churn.add(static_cast<double>(
             core::placement_churn(*previous, solution.placement)));
       }
+      if (solution.assignment) {
+        // Both controllers replay the identical per-slot arrival stream.
+        serverless::ArrivalConfig arrival_config;
+        arrival_config.horizon_s = 15.0;
+        arrival_config.mean_rate = 0.25;
+        arrival_config.bins = 12;
+        arrival_config.seed = 900 + static_cast<std::uint64_t>(slot);
+        const auto arrivals =
+            serverless::generate_arrivals(users, arrival_config);
+        const serverless::ServerlessRuntime runtime(scenario, runtime_config);
+        const auto measured = runtime.run(
+            solution.placement, *solution.assignment, arrivals,
+            rollout_policy, 4242, previous ? &*previous : nullptr);
+        series.cold_starts.add(
+            static_cast<double>(measured.totals.cold_serves));
+        series.cold_wait_ms.add(measured.mean_cold_s() * 1e3);
+      }
       previous = solution.placement;
     }
   };
@@ -60,25 +98,30 @@ int main() {
   run(/*use_online=*/true, online_series);
 
   util::Table table({"controller", "mean_objective", "mean_runtime_ms",
-                     "mean_churn", "max_churn"});
+                     "mean_churn", "max_churn", "mean_cold_starts",
+                     "mean_cold_wait_ms"});
   table.row()
       .cell("full re-solve")
       .num(resolve_series.objective.mean(), 1)
       .num(resolve_series.runtime.mean(), 1)
       .num(resolve_series.churn.mean(), 1)
-      .num(resolve_series.churn.max(), 0);
+      .num(resolve_series.churn.max(), 0)
+      .num(resolve_series.cold_starts.mean(), 1)
+      .num(resolve_series.cold_wait_ms.mean(), 2);
   table.row()
       .cell("online warm-start")
       .num(online_series.objective.mean(), 1)
       .num(online_series.runtime.mean(), 1)
       .num(online_series.churn.mean(), 1)
-      .num(online_series.churn.max(), 0);
+      .num(online_series.churn.max(), 0)
+      .num(online_series.cold_starts.mean(), 1)
+      .num(online_series.cold_wait_ms.mean(), 2);
   table.print(std::cout);
   bench::maybe_write_csv(table, "online");
 
   std::cout << "\nExpected shape: the warm-started controller stays within a "
                "few percent of the\nfull re-solve objective while cutting "
-               "deployment churn (container cold starts)\nsubstantially; "
-               "runtime is comparable or better.\n";
+               "deployment churn — and with it the\nmeasured rollout cold "
+               "starts — substantially; runtime is comparable or better.\n";
   return 0;
 }

@@ -41,11 +41,13 @@ int main() {
     const auto util_per_node = testbed.utilisation(*solution.assignment);
     double max_util = 0.0;
     for (double u : util_per_node) max_util = std::max(max_util, u);
+    const double ps[] = {50.0, 95.0};
+    const auto q = util::quantiles(std::move(latencies), ps);
     table.row()
         .num(rate, 2)
         .num(stats.mean(), 2)
-        .num(util::median(latencies), 2)
-        .num(util::percentile(latencies, 95.0), 2)
+        .num(q[0], 2)
+        .num(q[1], 2)
         .num(stats.max(), 2)
         .num(max_util, 2);
   }

@@ -17,6 +17,22 @@ int placement_churn(const Placement& a, const Placement& b) {
   return churn;
 }
 
+PlacementDelta placement_delta(const Placement& prev, const Placement& next) {
+  PlacementDelta delta;
+  const int services =
+      std::min(prev.num_microservices(), next.num_microservices());
+  const int nodes = std::min(prev.num_nodes(), next.num_nodes());
+  for (MsId m = 0; m < services; ++m) {
+    for (NodeId k = 0; k < nodes; ++k) {
+      const bool before = prev.deployed(m, k);
+      const bool after = next.deployed(m, k);
+      if (!before && after) delta.added.emplace_back(m, k);
+      if (before && !after) delta.removed.emplace_back(m, k);
+    }
+  }
+  return delta;
+}
+
 Solution OnlineSoCL::step(const Scenario& scenario, OnlineStepStats* stats) {
   util::WallTimer timer;
   OnlineStepStats local;

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/socl.h"
 
@@ -32,7 +34,10 @@ struct OnlineStepStats {
   bool warm_start_used = false;
   bool full_resolve = false;
   /// Instances added + removed relative to the previous slot's placement
-  /// (deployment churn; cold-start proxy).
+  /// (deployment churn). The cold starts this churn causes are measured by
+  /// the serverless runtime (src/serverless/): pass the previous placement
+  /// as `carried` to ServerlessRuntime::run and the added instances pay
+  /// real boot latency.
   int churn = 0;
 };
 
@@ -58,5 +63,13 @@ class OnlineSoCL {
 
 /// Instance churn between two placements (|symmetric difference|).
 int placement_churn(const Placement& a, const Placement& b);
+
+/// The symmetric difference split by direction: instances `next` deploys
+/// that `prev` lacked (these boot cold at rollout) and instances torn down.
+struct PlacementDelta {
+  std::vector<std::pair<MsId, NodeId>> added;
+  std::vector<std::pair<MsId, NodeId>> removed;
+};
+PlacementDelta placement_delta(const Placement& prev, const Placement& next);
 
 }  // namespace socl::core

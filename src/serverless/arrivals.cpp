@@ -1,0 +1,81 @@
+#include "serverless/arrivals.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace socl::serverless {
+namespace {
+
+/// SplitMix64-style stream derivation so per-user streams are independent of
+/// the user count (the Rng constructor finishes the mixing).
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t stream) {
+  return seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+}
+
+}  // namespace
+
+std::vector<double> arrival_profile(const ArrivalConfig& config) {
+  if (config.bins <= 0 || config.horizon_s <= 0.0) {
+    throw std::invalid_argument("arrival_profile: non-positive window");
+  }
+  // The trace generator emits a Fig. 4-style diurnal + bursty volume series;
+  // sample it at bin resolution and renormalise to mean 1.
+  const int bins_per_hour = 4;
+  const int hours = (config.bins + bins_per_hour - 1) / bins_per_hour;
+  const auto series = workload::request_volume_series(
+      hours, bins_per_hour, /*base_rate=*/1000.0, config.seed ^ 0xF19A4ULL);
+
+  std::vector<double> profile(static_cast<std::size_t>(config.bins), 1.0);
+  double sum = 0.0;
+  for (int b = 0; b < config.bins; ++b) {
+    profile[static_cast<std::size_t>(b)] =
+        series[static_cast<std::size_t>(b) % series.size()];
+    sum += profile[static_cast<std::size_t>(b)];
+  }
+  const double mean = sum / static_cast<double>(config.bins);
+  for (auto& value : profile) {
+    const double relative = mean > 0.0 ? value / mean : 1.0;
+    value = std::max(0.05, 1.0 + config.burstiness * (relative - 1.0));
+  }
+  return profile;
+}
+
+std::vector<Arrival> generate_arrivals(int num_users,
+                                       const ArrivalConfig& config) {
+  if (num_users < 0) {
+    throw std::invalid_argument("generate_arrivals: negative user count");
+  }
+  const auto profile = arrival_profile(config);
+  const double bin_len =
+      config.horizon_s / static_cast<double>(config.bins);
+
+  std::vector<Arrival> all;
+  for (int u = 0; u < num_users; ++u) {
+    util::Rng rng(mix_stream(config.seed, static_cast<std::uint64_t>(u)));
+    std::vector<double> times;
+    for (int b = 0; b < config.bins; ++b) {
+      const double expected =
+          config.mean_rate * bin_len * profile[static_cast<std::size_t>(b)];
+      const auto count = rng.poisson(expected);
+      const double lo = static_cast<double>(b) * bin_len;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        times.push_back(lo + rng.uniform(0.0, bin_len));
+      }
+    }
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      all.push_back({times[i], u, static_cast<int>(i)});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Arrival& a, const Arrival& b) {
+    if (a.time_s != b.time_s) return a.time_s < b.time_s;
+    if (a.user != b.user) return a.user < b.user;
+    return a.seq < b.seq;
+  });
+  return all;
+}
+
+}  // namespace socl::serverless

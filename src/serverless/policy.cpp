@@ -1,0 +1,63 @@
+#include "serverless/policy.h"
+
+#include "core/partition.h"
+#include "core/preprovision.h"
+
+namespace socl::serverless {
+
+int ReactivePolicy::on_demand_miss(const PoolView& view) const {
+  // Slots that will free up once the in-flight boots finish.
+  const int pipeline_slots = view.starting * view.concurrency;
+  if (view.queue_len <= pipeline_slots) return 0;
+  return 1;
+}
+
+SoCLPrewarmPolicy::SoCLPrewarmPolicy(const core::Scenario& scenario)
+    : num_nodes_(scenario.num_nodes()),
+      quota_(static_cast<std::size_t>(scenario.num_microservices()) *
+                 static_cast<std::size_t>(scenario.num_nodes()),
+             0) {
+  const auto partitioning =
+      core::initial_partition(scenario, core::PartitionConfig{});
+  const auto pre = core::preprovision(scenario, partitioning);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      if (pre.placement.deployed(m, k)) {
+        quota_[static_cast<std::size_t>(m) *
+                   static_cast<std::size_t>(num_nodes_) +
+               static_cast<std::size_t>(k)] = 1;
+      }
+    }
+  }
+}
+
+int SoCLPrewarmPolicy::quota(MsId m, NodeId k) const {
+  return quota_[static_cast<std::size_t>(m) *
+                    static_cast<std::size_t>(num_nodes_) +
+                static_cast<std::size_t>(k)];
+}
+
+int SoCLPrewarmPolicy::initial_warm(const core::Scenario& scenario,
+                                    const core::Placement& placement,
+                                    NodeId k, MsId m) const {
+  (void)placement;
+  // The measured placement may host instances Algorithm 2 did not select
+  // (baselines, budget-forced merges); pre-warm those too when they carry
+  // demand — the quota set stays the floor the tick maintains.
+  if (quota(m, k) > 0) return 1;
+  return scenario.demand_count(m, k) > 0 ? 1 : 0;
+}
+
+int SoCLPrewarmPolicy::on_demand_miss(const PoolView& view) const {
+  const int pipeline_slots = view.starting * view.concurrency;
+  if (view.queue_len <= pipeline_slots) return 0;
+  return 1;
+}
+
+int SoCLPrewarmPolicy::warm_floor(const core::Scenario& scenario, NodeId k,
+                                  MsId m) const {
+  (void)scenario;
+  return quota(m, k);
+}
+
+}  // namespace socl::serverless

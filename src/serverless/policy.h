@@ -1,0 +1,125 @@
+// Pluggable container-autoscaling policies for the serverless runtime.
+//
+// A policy decides three things per (node, microservice) pool: how many
+// containers are warm before the measurement window opens, whether a demand
+// miss (request arriving with no free concurrency slot) should start a new
+// container, and what warm floor the periodic tick restores after keep-alive
+// expiry. Three policies ship:
+//   - FixedPoolPolicy: a constant pool per deployed instance, never scales;
+//   - ReactivePolicy: start from zero, scale on queue growth (requests pay
+//     the cold starts — the default behaviour of FaaS platforms);
+//   - SoCLPrewarmPolicy: pre-warms from the Algorithm 2 pre-provisioning
+//     quotas (the paper's placement already says where demand concentrates),
+//     with reactive scaling as a backstop.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/placement.h"
+
+namespace socl::serverless {
+
+using core::MsId;
+using core::NodeId;
+
+/// Snapshot of one container pool handed to policy decisions.
+struct PoolView {
+  NodeId node = net::kInvalidNode;
+  MsId ms = workload::kInvalidMs;
+  /// Booted containers currently alive (idle or serving).
+  int warm = 0;
+  /// Containers still paying their cold start.
+  int starting = 0;
+  /// Occupied concurrency slots across warm containers.
+  int busy_slots = 0;
+  /// Requests waiting in the pool's FIFO queue.
+  int queue_len = 0;
+  /// Per-container concurrency limit.
+  int concurrency = 1;
+  /// Maximum live containers the pool may hold.
+  int capacity = 1;
+};
+
+class ScalingPolicy {
+ public:
+  virtual ~ScalingPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Containers warm at t = 0 for the pool of (k, m); only consulted for
+  /// instances the placement deploys. Clamped to the pool capacity.
+  virtual int initial_warm(const core::Scenario& scenario,
+                           const core::Placement& placement, NodeId k,
+                           MsId m) const = 0;
+
+  /// Containers to start when a request finds no free slot (0 = queue only).
+  virtual int on_demand_miss(const PoolView& view) const = 0;
+
+  /// Minimum warm + starting containers the periodic policy tick restores
+  /// (0 = let keep-alive drain the pool).
+  virtual int warm_floor(const core::Scenario& scenario, NodeId k,
+                         MsId m) const = 0;
+};
+
+/// Constant pool of `size` containers per deployed instance; never scales.
+class FixedPoolPolicy final : public ScalingPolicy {
+ public:
+  explicit FixedPoolPolicy(int size = 1) : size_(size) {}
+  std::string name() const override { return "fixed"; }
+  int initial_warm(const core::Scenario&, const core::Placement&, NodeId,
+                   MsId) const override {
+    return size_;
+  }
+  int on_demand_miss(const PoolView&) const override { return 0; }
+  int warm_floor(const core::Scenario&, NodeId, MsId) const override {
+    return size_;
+  }
+
+ private:
+  int size_;
+};
+
+/// Scale-on-queue: pools start empty and a miss boots a container unless
+/// enough capacity is already warming up to absorb the queue.
+class ReactivePolicy final : public ScalingPolicy {
+ public:
+  std::string name() const override { return "reactive"; }
+  int initial_warm(const core::Scenario&, const core::Placement&, NodeId,
+                   MsId) const override {
+    return 0;
+  }
+  int on_demand_miss(const PoolView& view) const override;
+  int warm_floor(const core::Scenario&, NodeId, MsId) const override {
+    return 0;
+  }
+};
+
+/// SoCL-informed pre-warming: instances selected by Algorithm 2's
+/// budget-quota pre-provisioning (the ε_s(m_i)·N̄(m_i) hosts) keep one warm
+/// container from t = 0 and are restored by the tick after keep-alive
+/// expiry; everything else behaves reactively.
+class SoCLPrewarmPolicy final : public ScalingPolicy {
+ public:
+  /// Runs Algorithm 2 on `scenario`'s current demand to derive the pre-warm
+  /// set. Rebuild the policy when demand shifts (e.g. each simulation slot).
+  explicit SoCLPrewarmPolicy(const core::Scenario& scenario);
+
+  std::string name() const override { return "socl-prewarm"; }
+  int initial_warm(const core::Scenario& scenario,
+                   const core::Placement& placement, NodeId k,
+                   MsId m) const override;
+  int on_demand_miss(const PoolView& view) const override;
+  int warm_floor(const core::Scenario& scenario, NodeId k,
+                 MsId m) const override;
+
+  /// Pre-warm quota for (m, k); exposed for tests.
+  int quota(MsId m, NodeId k) const;
+
+ private:
+  int num_nodes_ = 0;
+  /// quota_[m * num_nodes + k]: warm containers Algorithm 2 assigns there.
+  std::vector<int> quota_;
+};
+
+}  // namespace socl::serverless

@@ -1,8 +1,60 @@
 #include "sim/slot_sim.h"
 
+#include <memory>
+#include <utility>
+
+#include "core/online.h"
 #include "workload/request_gen.h"
 
 namespace socl::sim {
+namespace {
+
+void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  h ^= value;
+  h *= 0x100000001B3ULL;
+}
+
+std::uint64_t bits(double value) {
+  std::uint64_t out;
+  static_assert(sizeof(out) == sizeof(value));
+  __builtin_memcpy(&out, &value, sizeof(out));
+  return out;
+}
+
+/// FNV-1a over everything the algorithms see as demand. Pure in the request
+/// set, so two runs with the same seed must agree whatever algorithm is
+/// being driven over the trace.
+std::uint64_t demand_fingerprint(
+    const std::vector<workload::UserRequest>& requests) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& request : requests) {
+    fnv_mix(h, static_cast<std::uint64_t>(request.attach_node));
+    fnv_mix(h, request.chain.size());
+    for (const workload::MsId m : request.chain) {
+      fnv_mix(h, static_cast<std::uint64_t>(m));
+    }
+    for (const double d : request.edge_data) fnv_mix(h, bits(d));
+    fnv_mix(h, bits(request.data_in));
+    fnv_mix(h, bits(request.data_out));
+    fnv_mix(h, bits(request.deadline));
+  }
+  return h;
+}
+
+std::unique_ptr<serverless::ScalingPolicy> make_policy(
+    ServerlessPolicyKind kind, const core::Scenario& scenario) {
+  switch (kind) {
+    case ServerlessPolicyKind::kFixed:
+      return std::make_unique<serverless::FixedPoolPolicy>(1);
+    case ServerlessPolicyKind::kReactive:
+      return std::make_unique<serverless::ReactivePolicy>();
+    case ServerlessPolicyKind::kSoclPrewarm:
+      return std::make_unique<serverless::SoCLPrewarmPolicy>(scenario);
+  }
+  return std::make_unique<serverless::ReactivePolicy>();
+}
+
+}  // namespace
 
 std::vector<SlotMetrics> run_slotted(
     const core::ScenarioConfig& base_config, std::uint64_t scenario_seed,
@@ -16,6 +68,7 @@ std::vector<SlotMetrics> run_slotted(
   const auto weights = workload::attachment_weights(
       scenario.network().num_nodes(), base_config.requests, weight_rng);
 
+  std::optional<core::Placement> carried;
   std::vector<SlotMetrics> series;
   series.reserve(static_cast<std::size_t>(sim_config.slots));
   for (int slot = 0; slot < sim_config.slots; ++slot) {
@@ -48,6 +101,38 @@ std::vector<SlotMetrics> run_slotted(
     metrics.max_latency = solution.evaluation.max_latency;
     metrics.deadline_violations = solution.evaluation.deadline_violations;
     metrics.solve_seconds = solution.runtime_seconds;
+    metrics.demand_fingerprint = demand_fingerprint(scenario.requests());
+    metrics.placement_churn =
+        carried ? core::placement_churn(*carried, solution.placement) : 0;
+
+    if (sim_config.serverless.enabled && solution.assignment) {
+      serverless::ArrivalConfig arrival_config =
+          sim_config.serverless.arrivals;
+      arrival_config.seed =
+          sim_config.seed ^
+          (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(slot) + 1));
+      const auto arrivals = serverless::generate_arrivals(
+          static_cast<int>(scenario.requests().size()), arrival_config);
+      const auto policy =
+          make_policy(sim_config.serverless.policy, scenario);
+      const serverless::ServerlessRuntime runtime(
+          scenario, sim_config.serverless.runtime);
+      const auto run = runtime.run(
+          solution.placement, *solution.assignment, arrivals, *policy,
+          arrival_config.seed ^ 0x5E71E55ULL,
+          carried ? &*carried : nullptr);
+      metrics.invocations = run.totals.invocations;
+      metrics.cold_starts = run.totals.cold_serves;
+      metrics.container_boots =
+          run.totals.demand_boots + run.totals.prewarm_boots;
+      metrics.serverless_mean_s = run.mean_latency_s();
+      metrics.cold_wait_mean_s = run.mean_cold_s();
+    }
+
+    carried = solution.placement;
+    if (sim_config.observer) {
+      sim_config.observer(scenario, solution, metrics);
+    }
     series.push_back(metrics);
   }
   return series;

@@ -4,15 +4,39 @@
 // optionally refresh their request chains (stochastic service dependencies),
 // the algorithm makes a one-shot decision, and the shared evaluator scores
 // it. Drives the Fig. 10 trace experiment and the online examples.
+//
+// With `serverless.enabled` the slot's placement is additionally executed on
+// the container runtime (src/serverless/): arrivals for the slot window are
+// replayed through the solved assignment, and instances churned relative to
+// the previous slot's placement pay real cold starts at rollout. This turns
+// the abstract churn count into measured cold-start latency.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "baselines/algorithm.h"
+#include "serverless/runtime.h"
 #include "workload/mobility.h"
 
 namespace socl::sim {
+
+/// Scaling policy selector for the slot simulator's serverless mode. The
+/// SoCL pre-warm policy is rebuilt each slot from the current demand.
+enum class ServerlessPolicyKind { kFixed, kReactive, kSoclPrewarm };
+
+struct SlotServerlessConfig {
+  bool enabled = false;
+  serverless::ServerlessConfig runtime;
+  /// Arrival process per slot; the per-slot seed is derived from
+  /// SlotSimConfig::seed and the slot index, so every algorithm replays the
+  /// identical arrival stream.
+  serverless::ArrivalConfig arrivals;
+  ServerlessPolicyKind policy = ServerlessPolicyKind::kReactive;
+};
+
+struct SlotMetrics;
 
 struct SlotSimConfig {
   int slots = 48;  // e.g. 4 hours at 5-minute slots
@@ -20,6 +44,14 @@ struct SlotSimConfig {
   /// Regenerate chains each slot (stochastic service dependencies).
   bool regenerate_chains = false;
   std::uint64_t seed = 11;
+  SlotServerlessConfig serverless;
+  /// Called after each slot is scored, with the scenario still holding that
+  /// slot's requests — lets tests and benches recompute per-slot quantities
+  /// (e.g. recount deadline violations) without re-running the trace.
+  std::function<void(const core::Scenario& scenario,
+                     const core::Solution& solution,
+                     const SlotMetrics& metrics)>
+      observer;
 };
 
 struct SlotMetrics {
@@ -31,6 +63,18 @@ struct SlotMetrics {
   double max_latency = 0.0;
   int deadline_violations = 0;
   double solve_seconds = 0.0;
+  /// FNV-1a hash of the slot's demand (attach nodes, chains, data volumes).
+  /// Equal seeds must produce equal fingerprints whatever the algorithm —
+  /// the trace is independent of the decisions taken on it.
+  std::uint64_t demand_fingerprint = 0;
+  /// Instances added + removed vs the previous slot (0 on the first slot).
+  int placement_churn = 0;
+  // --- serverless mode only (zeros otherwise) ---
+  std::int64_t invocations = 0;
+  std::int64_t cold_starts = 0;      ///< invocations that waited on a boot
+  std::int64_t container_boots = 0;  ///< demand + prewarm/rollout boots
+  double serverless_mean_s = 0.0;    ///< mean end-to-end latency on runtime
+  double cold_wait_mean_s = 0.0;     ///< mean per-request cold-start wait
 };
 
 /// Runs one algorithm over a mobility trace; the same seed reproduces the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace socl::sim {
 
 using core::NodeId;
@@ -54,42 +56,63 @@ std::vector<LatencySample> TestbedEmulator::measure(
     const core::Placement& placement, const core::Assignment& assignment,
     int rounds, std::uint64_t seed) const {
   (void)placement;
-  util::Rng rng(seed);
   const auto& catalog = scenario_->catalog();
+  const auto& requests = scenario_->requests();
   const auto util = utilisation(assignment);
+  const std::size_t num_users = requests.size();
 
-  std::vector<LatencySample> samples;
-  samples.reserve(static_cast<std::size_t>(rounds) *
-                  scenario_->requests().size());
-  for (int round = 0; round < rounds; ++round) {
-    for (const auto& request : scenario_->requests()) {
-      double ms = 0.0;
-      NodeId prev = request.attach_node;
-      NodeId first = net::kInvalidNode;
-      for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
-        const NodeId k =
-            assignment.node_for(request.id, static_cast<int>(pos));
-        const double data = pos == 0 ? request.data_in
-                                     : request.edge_data[pos - 1];
-        ms += hop_ms(data, prev, k);
-        // Processing with M/M/1 inflation and log-normal jitter. The
-        // containers execute a scaled-down replica of the workload, so one
-        // GFLOP of simulator work costs ~1 ms per core-GFLOP/s of testbed
-        // capacity.
-        const double base_ms =
-            catalog.microservice(request.chain[pos]).compute_gflop /
-            config_.core_gflops;
-        const double queue_factor =
-            1.0 / (1.0 - util[static_cast<std::size_t>(k)]);
-        const double jitter =
-            std::exp(rng.normal(0.0, config_.jitter_sigma));
-        ms += base_ms * queue_factor * jitter;
-        if (pos == 0) first = k;
-        prev = k;
-      }
-      ms += hop_ms(request.data_out, prev, first);
-      samples.push_back({request.id, ms});
+  // Round-major sample layout (samples[round * U + u]), matching the
+  // historical serial dispatch order. Each user owns a counter-based RNG
+  // stream pure in (seed, user index), so the per-user fan-out below
+  // produces bit-identical samples for any thread count.
+  std::vector<LatencySample> samples(static_cast<std::size_t>(rounds) *
+                                     num_users);
+  const auto measure_user = [&](std::size_t u) {
+    const auto& request = requests[u];
+    // Transfer legs and queue-inflated processing bases are deterministic;
+    // only the jitter is redrawn per round.
+    double transfer_ms = 0.0;
+    std::vector<double> stage_ms(request.chain.size());
+    NodeId prev = request.attach_node;
+    NodeId first = net::kInvalidNode;
+    for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
+      const NodeId k = assignment.node_for(request.id, static_cast<int>(pos));
+      const double data =
+          pos == 0 ? request.data_in : request.edge_data[pos - 1];
+      transfer_ms += hop_ms(data, prev, k);
+      // Processing with M/M/1 inflation and log-normal jitter. The
+      // containers execute a scaled-down replica of the workload, so one
+      // GFLOP of simulator work costs ~1 ms per core-GFLOP/s of testbed
+      // capacity.
+      const double base_ms =
+          catalog.microservice(request.chain[pos]).compute_gflop /
+          config_.core_gflops;
+      const double queue_factor =
+          1.0 / (1.0 - util[static_cast<std::size_t>(k)]);
+      stage_ms[pos] = base_ms * queue_factor;
+      if (pos == 0) first = k;
+      prev = k;
     }
+    transfer_ms += hop_ms(request.data_out, prev, first);
+
+    util::Rng rng(seed ^ (0x9E3779B97F4A7C15ULL *
+                          (static_cast<std::uint64_t>(u) + 1)));
+    for (int round = 0; round < rounds; ++round) {
+      double ms = transfer_ms;
+      for (const double base : stage_ms) {
+        ms += base * std::exp(rng.normal(0.0, config_.jitter_sigma));
+      }
+      samples[static_cast<std::size_t>(round) * num_users + u] =
+          LatencySample{request.id, ms};
+    }
+  };
+
+  if (config_.threads != 1 && num_users > 1) {
+    util::ThreadPool pool(static_cast<std::size_t>(
+        config_.threads > 0 ? config_.threads : 0));
+    pool.parallel_for(num_users, measure_user);
+  } else {
+    for (std::size_t u = 0; u < num_users; ++u) measure_user(u);
   }
   return samples;
 }

@@ -62,6 +62,48 @@ double median(std::vector<double> values) {
   return percentile(std::move(values), 50.0);
 }
 
+std::vector<double> quantiles(std::vector<double> values,
+                              std::span<const double> ps) {
+  if (values.empty()) throw std::invalid_argument("quantiles: empty input");
+  for (const double p : ps) {
+    if (p < 0.0 || p > 100.0) {
+      throw std::invalid_argument("quantiles: p out of [0,100]");
+    }
+  }
+  // Visit requested ranks ascending so every nth_element partitions only the
+  // suffix left unsorted by the previous one.
+  std::vector<std::size_t> order(ps.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ps[a] < ps[b]; });
+
+  std::vector<double> out(ps.size());
+  const std::size_t n = values.size();
+  std::size_t sorted_below = 0;  // values[0..sorted_below) is in final order
+  for (const std::size_t i : order) {
+    const double rank =
+        n == 1 ? 0.0 : ps[i] / 100.0 * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = rank - static_cast<double>(lo);
+    if (hi >= sorted_below) {
+      auto begin = values.begin() + static_cast<std::ptrdiff_t>(sorted_below);
+      std::nth_element(begin,
+                       values.begin() + static_cast<std::ptrdiff_t>(hi),
+                       values.end());
+      if (lo >= sorted_below && lo < hi) {
+        // values[lo] is the max of the left partition.
+        std::nth_element(begin,
+                         values.begin() + static_cast<std::ptrdiff_t>(lo),
+                         values.begin() + static_cast<std::ptrdiff_t>(hi));
+      }
+      sorted_below = hi + 1;
+    }
+    out[i] = values[lo] + frac * (values[hi] - values[lo]);
+  }
+  return out;
+}
+
 double jaccard_similarity(const std::unordered_set<std::uint64_t>& a,
                           const std::unordered_set<std::uint64_t>& b) {
   if (a.empty() && b.empty()) return 1.0;

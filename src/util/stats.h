@@ -41,6 +41,15 @@ double percentile(std::vector<double> values, double p);
 /// Median shortcut.
 double median(std::vector<double> values);
 
+/// Batch percentile extraction via nth_element instead of a full sort:
+/// returns one value per entry of `ps` (each in [0, 100], any order), with
+/// the same linear interpolation as percentile(). Ranks are visited in
+/// ascending order so each nth_element call only partitions the suffix the
+/// previous calls left unsorted — O(n · |ps|) worst case, ~O(n) in practice,
+/// vs O(n log n) per percentile for the sort-based variant.
+std::vector<double> quantiles(std::vector<double> values,
+                              std::span<const double> ps);
+
 /// Jaccard similarity |A∩B| / |A∪B| of two integer sets; 1.0 if both empty.
 double jaccard_similarity(const std::unordered_set<std::uint64_t>& a,
                           const std::unordered_set<std::uint64_t>& b);

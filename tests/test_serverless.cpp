@@ -1,0 +1,304 @@
+// Tests for the serverless container-runtime simulator: arrival streams,
+// event-ordering determinism, cold-start accounting conservation, keep-alive
+// capacity reclamation, evaluator reproduction in the zero-overhead
+// configuration, and the scaling policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/routing.h"
+#include "serverless/arrivals.h"
+#include "serverless/policy.h"
+#include "serverless/runtime.h"
+
+namespace socl::serverless {
+namespace {
+
+using core::MsId;
+using core::NodeId;
+
+core::ScenarioConfig base_config(int nodes = 6, int users = 12) {
+  core::ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_users = users;
+  return config;
+}
+
+/// Demand-following placement + optimal routing, like the testbed tests use.
+struct Fixture {
+  core::Scenario scenario;
+  core::Placement placement;
+  core::Assignment assignment;
+
+  explicit Fixture(std::uint64_t seed, int nodes = 6, int users = 12)
+      : scenario(core::make_scenario(base_config(nodes, users), seed)),
+        placement(scenario),
+        assignment(scenario) {
+    for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+      for (const NodeId k : scenario.demand_nodes(m)) placement.deploy(m, k);
+      if (!scenario.demand_nodes(m).empty()) placement.deploy(m, 0);
+    }
+    const core::ChainRouter router(scenario);
+    assignment = *router.route_all(placement);
+  }
+};
+
+ArrivalConfig default_arrivals() {
+  ArrivalConfig config;
+  config.horizon_s = 20.0;
+  config.mean_rate = 0.1;
+  config.burstiness = 1.5;
+  config.bins = 8;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Arrivals, DeterministicSortedAndSequenced) {
+  const auto a = generate_arrivals(10, default_arrivals());
+  const auto b = generate_arrivals(10, default_arrivals());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), 0u);
+  std::vector<int> next_seq(10, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time_s, b[i].time_s);
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    if (i > 0) EXPECT_GE(a[i].time_s, a[i - 1].time_s);
+    EXPECT_GE(a[i].time_s, 0.0);
+    EXPECT_LE(a[i].time_s, default_arrivals().horizon_s);
+    EXPECT_EQ(a[i].seq, next_seq[static_cast<std::size_t>(a[i].user)]++);
+  }
+}
+
+TEST(Arrivals, PerUserStreamIndependentOfPopulation) {
+  // Counter-based streams: user u's arrivals must not change when more
+  // users join the scenario.
+  const auto small = generate_arrivals(4, default_arrivals());
+  const auto large = generate_arrivals(12, default_arrivals());
+  std::vector<Arrival> small_u, large_u;
+  for (const auto& arrival : small) {
+    if (arrival.user < 4) small_u.push_back(arrival);
+  }
+  for (const auto& arrival : large) {
+    if (arrival.user < 4) large_u.push_back(arrival);
+  }
+  ASSERT_EQ(small_u.size(), large_u.size());
+  for (std::size_t i = 0; i < small_u.size(); ++i) {
+    EXPECT_DOUBLE_EQ(small_u[i].time_s, large_u[i].time_s);
+    EXPECT_EQ(small_u[i].user, large_u[i].user);
+    EXPECT_EQ(small_u[i].seq, large_u[i].seq);
+  }
+}
+
+TEST(Arrivals, BurstinessWidensProfileSpread) {
+  ArrivalConfig flat = default_arrivals();
+  flat.burstiness = 0.0;
+  ArrivalConfig bursty = default_arrivals();
+  bursty.burstiness = 3.0;
+  const auto flat_profile = arrival_profile(flat);
+  const auto bursty_profile = arrival_profile(bursty);
+  double flat_spread = 0.0, bursty_spread = 0.0;
+  for (std::size_t b = 0; b < flat_profile.size(); ++b) {
+    flat_spread = std::max(flat_spread, std::abs(flat_profile[b] - 1.0));
+    bursty_spread = std::max(bursty_spread, std::abs(bursty_profile[b] - 1.0));
+  }
+  EXPECT_NEAR(flat_spread, 0.0, 1e-12);
+  EXPECT_GT(bursty_spread, 0.0);
+}
+
+TEST(Runtime, EventLogIdenticalAcrossRunsAndThreadCounts) {
+  const Fixture fx(21);
+  const auto arrivals = generate_arrivals(fx.scenario.num_users(),
+                                          default_arrivals());
+  ServerlessConfig config;
+  config.proc_jitter_sigma = 0.1;
+  config.keep_alive_sigma = 0.2;
+
+  std::vector<std::vector<EventRecord>> logs;
+  std::vector<RuntimeMetrics> runs;
+  for (const int threads : {1, 1, 4, 0}) {
+    ServerlessConfig c = config;
+    c.threads = threads;
+    const ServerlessRuntime runtime(fx.scenario, c);
+    std::vector<EventRecord> log;
+    runs.push_back(runtime.run(fx.placement, fx.assignment, arrivals,
+                               ReactivePolicy(), 77, nullptr, &log));
+    logs.push_back(std::move(log));
+  }
+  for (std::size_t i = 1; i < logs.size(); ++i) {
+    EXPECT_EQ(logs[0], logs[i]) << "run " << i;
+    ASSERT_EQ(runs[0].requests.size(), runs[i].requests.size());
+    for (std::size_t r = 0; r < runs[0].requests.size(); ++r) {
+      EXPECT_DOUBLE_EQ(runs[0].requests[r].finish_s,
+                       runs[i].requests[r].finish_s);
+      EXPECT_DOUBLE_EQ(runs[0].requests[r].cold_s,
+                       runs[i].requests[r].cold_s);
+    }
+  }
+}
+
+TEST(Runtime, ColdStartAccountingConserved) {
+  const Fixture fx(22);
+  const auto arrivals = generate_arrivals(fx.scenario.num_users(),
+                                          default_arrivals());
+  ServerlessConfig config;
+  config.keep_alive_s = 2.0;  // force churn: expiry + re-boot mid-window
+  const ServerlessRuntime runtime(fx.scenario, config);
+  const auto metrics = runtime.run(fx.placement, fx.assignment, arrivals,
+                                   ReactivePolicy(), 13);
+
+  // Every arrival completes and every stage serve is classified exactly once.
+  ASSERT_EQ(metrics.requests.size(), arrivals.size());
+  std::int64_t stages = 0;
+  for (const auto& arrival : arrivals) {
+    stages += static_cast<std::int64_t>(
+        fx.scenario.requests()[static_cast<std::size_t>(arrival.user)]
+            .chain.size());
+  }
+  EXPECT_EQ(metrics.totals.invocations, stages);
+  EXPECT_EQ(metrics.totals.invocations,
+            metrics.totals.warm_hits + metrics.totals.cold_serves +
+                metrics.totals.queue_serves);
+  EXPECT_GT(metrics.totals.cold_serves, 0);  // reactive: first hits are cold
+
+  // Per-request latency decomposition is exact.
+  for (const auto& r : metrics.requests) {
+    EXPECT_NEAR(r.queue_s + r.cold_s + r.transfer_s + r.proc_s, r.total_s(),
+                1e-9);
+    EXPECT_GE(r.queue_s, 0.0);
+    EXPECT_GE(r.cold_s, 0.0);
+    EXPECT_GT(r.total_s(), 0.0);
+  }
+}
+
+TEST(Runtime, KeepAliveExpiryFreesPoolCapacity) {
+  const Fixture fx(23);
+  // Two widely separated single-request waves; between them every container
+  // outlives its keep-alive.
+  std::vector<Arrival> arrivals;
+  for (int u = 0; u < fx.scenario.num_users(); ++u) {
+    arrivals.push_back({0.01 * (u + 1), u, 0});
+  }
+  for (int u = 0; u < fx.scenario.num_users(); ++u) {
+    arrivals.push_back({60.0 + 0.01 * (u + 1), u, 1});
+  }
+  ServerlessConfig config;
+  config.keep_alive_s = 1.0;
+  config.keep_alive_sigma = 0.0;
+  config.max_containers_per_pool = 1;  // a leaked container would wedge pools
+  config.policy_tick_s = 0.0;          // no floor restoration
+  const ServerlessRuntime runtime(fx.scenario, config);
+  const auto metrics = runtime.run(fx.placement, fx.assignment, arrivals,
+                                   ReactivePolicy(), 31);
+
+  ASSERT_EQ(metrics.requests.size(), arrivals.size());
+  EXPECT_GT(metrics.totals.expirations, 0);
+  // The second wave can only be served if expiry returned the capacity: with
+  // max 1 container per pool, its boots prove the slot was reclaimed.
+  EXPECT_GT(metrics.totals.demand_boots,
+            static_cast<std::int64_t>(0));
+  std::int64_t second_wave_cold = 0;
+  for (const auto& r : metrics.requests) {
+    if (r.seq == 1 && r.cold_s > 0.0) ++second_wave_cold;
+  }
+  EXPECT_GT(second_wave_cold, 0);  // the re-boots were paid by wave 2
+}
+
+TEST(Runtime, ZeroOverheadConfigReproducesEvaluatorLatency) {
+  const Fixture fx(24);
+  const auto arrivals = generate_arrivals(fx.scenario.num_users(),
+                                          default_arrivals());
+  ServerlessConfig config;
+  config.cold_start_mean_s = 0.0;
+  config.cold_start_sigma = 0.0;
+  config.proc_jitter_sigma = 0.0;
+  config.concurrency = 1 << 20;
+  config.keep_alive_s = 1e9;
+  config.policy_tick_s = 0.0;
+  const ServerlessRuntime runtime(fx.scenario, config);
+  const auto metrics = runtime.run(fx.placement, fx.assignment, arrivals,
+                                   FixedPoolPolicy(1), 1);
+
+  const core::ChainRouter router(fx.scenario);
+  ASSERT_EQ(metrics.requests.size(), arrivals.size());
+  EXPECT_EQ(metrics.totals.warm_hits, metrics.totals.invocations);
+  for (const auto& r : metrics.requests) {
+    const auto& request =
+        fx.scenario.requests()[static_cast<std::size_t>(r.user)];
+    const double expected = router.completion_time(
+        request, fx.assignment.user_route(r.user));
+    EXPECT_NEAR(r.total_s(), expected, 1e-9);
+    EXPECT_NEAR(r.queue_s + r.cold_s, 0.0, 1e-12);
+  }
+}
+
+TEST(Runtime, CarriedPlacementControlsRolloutBoots) {
+  const Fixture fx(25);
+  const auto arrivals = generate_arrivals(fx.scenario.num_users(),
+                                          default_arrivals());
+  ServerlessConfig config;
+  config.policy_tick_s = 0.0;
+  const ServerlessRuntime runtime(fx.scenario, config);
+  const FixedPoolPolicy policy(1);
+
+  // Unchanged placement: every instance carries over, nothing boots.
+  const auto unchanged = runtime.run(fx.placement, fx.assignment, arrivals,
+                                     policy, 3, &fx.placement);
+  EXPECT_EQ(unchanged.totals.prewarm_boots, 0);
+  EXPECT_GT(unchanged.totals.initial_warm, 0);
+
+  // Fully churned placement: nothing carries, every pool boots cold.
+  const core::Placement empty(fx.scenario);
+  const auto churned = runtime.run(fx.placement, fx.assignment, arrivals,
+                                   policy, 3, &empty);
+  EXPECT_EQ(churned.totals.initial_warm, 0);
+  EXPECT_GT(churned.totals.prewarm_boots, 0);
+  EXPECT_GE(churned.totals.cold_serves, unchanged.totals.cold_serves);
+  EXPECT_GE(churned.mean_latency_s(), unchanged.mean_latency_s());
+}
+
+TEST(Policy, PrewarmBeatsReactiveOnColdStartsAtNoLatencyCost) {
+  const Fixture fx(26, 8, 16);
+  ArrivalConfig trace = default_arrivals();
+  trace.burstiness = 2.0;
+  const auto arrivals =
+      generate_arrivals(fx.scenario.num_users(), trace);
+  ServerlessConfig config;
+  config.keep_alive_s = 5.0;
+  const ServerlessRuntime runtime(fx.scenario, config);
+
+  const auto reactive = runtime.run(fx.placement, fx.assignment, arrivals,
+                                    ReactivePolicy(), 9);
+  const auto prewarm =
+      runtime.run(fx.placement, fx.assignment, arrivals,
+                  SoCLPrewarmPolicy(fx.scenario), 9);
+
+  EXPECT_GT(reactive.totals.cold_serves, 0);
+  EXPECT_LT(prewarm.totals.cold_serves, reactive.totals.cold_serves);
+  EXPECT_LE(prewarm.mean_latency_s(), reactive.mean_latency_s() + 1e-9);
+}
+
+TEST(Policy, SoclPrewarmQuotaFollowsPreprovisioning) {
+  const Fixture fx(27);
+  const SoCLPrewarmPolicy policy(fx.scenario);
+  int total_quota = 0;
+  for (MsId m = 0; m < fx.scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < fx.scenario.num_nodes(); ++k) {
+      total_quota += policy.quota(m, k);
+    }
+  }
+  EXPECT_GT(total_quota, 0);
+}
+
+TEST(Runtime, RejectsInvalidConfig) {
+  const Fixture fx(28);
+  ServerlessConfig config;
+  config.concurrency = 0;
+  EXPECT_THROW(ServerlessRuntime(fx.scenario, config), std::invalid_argument);
+  config = ServerlessConfig{};
+  config.cold_start_mean_s = -1.0;
+  EXPECT_THROW(ServerlessRuntime(fx.scenario, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socl::serverless

@@ -1,6 +1,8 @@
 // Tests for the slotted simulator and the Kubernetes-testbed emulator.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baselines/random_provision.h"
 #include "sim/slot_sim.h"
 #include "sim/testbed.h"
@@ -59,6 +61,86 @@ TEST(SlotSim, MobilityChangesMetricsOverTime) {
   EXPECT_TRUE(varies);
 }
 
+TEST(SlotSim, RegeneratedChainsSameTraceAcrossAlgorithms) {
+  // The mobility/chain series is algorithm-independent: with
+  // regenerate_chains on, the same seed must put the identical demand in
+  // front of every algorithm, slot for slot.
+  SlotSimConfig sim;
+  sim.slots = 4;
+  sim.regenerate_chains = true;
+  sim.mobility.move_prob = 0.6;
+  const auto socl_series = run_slotted(base_config(), 9,
+                                       baselines::SoCLAlgorithm(), sim);
+  const auto rp_series = run_slotted(base_config(), 9,
+                                     baselines::RandomProvision(), sim);
+  ASSERT_EQ(socl_series.size(), rp_series.size());
+  for (std::size_t s = 0; s < socl_series.size(); ++s) {
+    EXPECT_NE(socl_series[s].demand_fingerprint, 0u);
+    EXPECT_EQ(socl_series[s].demand_fingerprint,
+              rp_series[s].demand_fingerprint)
+        << "slot " << s;
+  }
+}
+
+TEST(SlotSim, RegeneratedChainsMetricsFiniteAndViolationsRecounted) {
+  SlotSimConfig sim;
+  sim.slots = 4;
+  sim.regenerate_chains = true;
+  int observed_slots = 0;
+  sim.observer = [&](const core::Scenario& scenario,
+                     const core::Solution& solution,
+                     const SlotMetrics& metrics) {
+    ++observed_slots;
+    // Independent recount of deadline violations against the slot's live
+    // requests: the reported metric must not undercount.
+    ASSERT_TRUE(solution.assignment.has_value());
+    const core::Evaluator evaluator(scenario);
+    const auto eval =
+        evaluator.evaluate(solution.placement, *solution.assignment);
+    EXPECT_EQ(metrics.deadline_violations, eval.deadline_violations);
+  };
+  const auto series = run_slotted(base_config(), 10,
+                                  baselines::SoCLAlgorithm(), sim);
+  EXPECT_EQ(observed_slots, 4);
+  for (const auto& m : series) {
+    EXPECT_TRUE(std::isfinite(m.objective));
+    EXPECT_TRUE(std::isfinite(m.total_latency));
+    EXPECT_TRUE(std::isfinite(m.mean_latency));
+    EXPECT_TRUE(std::isfinite(m.max_latency));
+    EXPECT_GT(m.objective, 0.0);
+    EXPECT_GE(m.deadline_violations, 0);
+  }
+}
+
+TEST(SlotSim, ServerlessModeMeasuresColdStartsDeterministically) {
+  SlotSimConfig sim;
+  sim.slots = 3;
+  sim.mobility.move_prob = 0.5;
+  sim.serverless.enabled = true;
+  sim.serverless.arrivals.horizon_s = 10.0;
+  sim.serverless.arrivals.mean_rate = 0.1;
+  sim.serverless.arrivals.bins = 4;
+  sim.serverless.policy = ServerlessPolicyKind::kReactive;
+  const auto a = run_slotted(base_config(), 12,
+                             baselines::SoCLAlgorithm(), sim);
+  const auto b = run_slotted(base_config(), 12,
+                             baselines::SoCLAlgorithm(), sim);
+  ASSERT_EQ(a.size(), 3u);
+  bool any_invocations = false;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].invocations, b[s].invocations);
+    EXPECT_EQ(a[s].cold_starts, b[s].cold_starts);
+    EXPECT_EQ(a[s].container_boots, b[s].container_boots);
+    EXPECT_DOUBLE_EQ(a[s].serverless_mean_s, b[s].serverless_mean_s);
+    EXPECT_LE(a[s].cold_starts, a[s].invocations);
+    EXPECT_TRUE(std::isfinite(a[s].serverless_mean_s));
+    EXPECT_TRUE(std::isfinite(a[s].cold_wait_mean_s));
+    if (a[s].invocations > 0) any_invocations = true;
+    if (s > 0) EXPECT_GE(a[s].placement_churn, 0);
+  }
+  EXPECT_TRUE(any_invocations);
+}
+
 TEST(SlotSim, RegeneratedChainsKeepUserCount) {
   SlotSimConfig sim;
   sim.slots = 3;
@@ -102,6 +184,28 @@ TEST(Testbed, LatenciesPositiveMilliseconds) {
   for (const auto& sample : samples) {
     EXPECT_GT(sample.latency_ms, 0.0);
     EXPECT_LT(sample.latency_ms, 10000.0);
+  }
+}
+
+TEST(Testbed, ParallelMeasureBitIdenticalToSerial) {
+  TestbedFixture fx(6);
+  TestbedConfig serial_config, parallel_config, hw_config;
+  serial_config.threads = 1;
+  parallel_config.threads = 3;
+  hw_config.threads = 0;  // hardware concurrency
+  const TestbedEmulator serial(fx.scenario, serial_config, 5);
+  const TestbedEmulator parallel(fx.scenario, parallel_config, 5);
+  const TestbedEmulator hw(fx.scenario, hw_config, 5);
+  const auto a = serial.measure(fx.placement, fx.assignment, 4, 17);
+  const auto b = parallel.measure(fx.placement, fx.assignment, 4, 17);
+  const auto c = hw.measure(fx.placement, fx.assignment, 4, 17);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_DOUBLE_EQ(a[i].latency_ms, b[i].latency_ms);
+    EXPECT_EQ(a[i].user, c[i].user);
+    EXPECT_DOUBLE_EQ(a[i].latency_ms, c[i].latency_ms);
   }
 }
 

@@ -184,6 +184,37 @@ TEST(HistogramTest, RenderMentionsCounts) {
 }
 
 // Percentile is monotone in p — property sweep across random inputs.
+TEST(Quantiles, MatchesPercentileForEveryRank) {
+  std::vector<double> values;
+  for (int i = 0; i < 97; ++i) {
+    values.push_back(std::fmod(static_cast<double>(i * 37 % 113), 19.0));
+  }
+  // Deliberately unsorted probe order, with duplicates and extremes.
+  const double ps[] = {95.0, 5.0, 50.0, 0.0, 100.0, 50.0, 73.5};
+  const auto q = quantiles(values, ps);
+  ASSERT_EQ(q.size(), std::size(ps));
+  for (std::size_t i = 0; i < std::size(ps); ++i) {
+    EXPECT_DOUBLE_EQ(q[i], percentile(values, ps[i])) << "p=" << ps[i];
+  }
+}
+
+TEST(Quantiles, SingleValueAndSingleRank) {
+  const double p50[] = {50.0};
+  EXPECT_DOUBLE_EQ(quantiles({42.0}, p50)[0], 42.0);
+  const double p95[] = {95.0};
+  EXPECT_DOUBLE_EQ(quantiles({1.0, 2.0, 3.0}, p95)[0],
+                   percentile({1.0, 2.0, 3.0}, 95.0));
+}
+
+TEST(Quantiles, RejectsEmptyAndBadP) {
+  const double ok[] = {50.0};
+  EXPECT_THROW(quantiles({}, ok), std::invalid_argument);
+  const double bad[] = {50.0, 101.0};
+  EXPECT_THROW(quantiles({1.0, 2.0}, bad), std::invalid_argument);
+  const double negative[] = {-0.5};
+  EXPECT_THROW(quantiles({1.0}, negative), std::invalid_argument);
+}
+
 class PercentileProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(PercentileProperty, MonotoneInP) {
