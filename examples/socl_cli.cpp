@@ -7,8 +7,16 @@
 // Prints the scenario summary, the chosen algorithm's decision, the
 // evaluation, and (with --placement) the full deployment map. Exits
 // non-zero on invalid arguments.
+//
+// Observability (DESIGN.md §4e): `--trace-out t.json` writes a
+// Chrome-trace-format span log of the run (open in chrome://tracing or
+// Perfetto); `--metrics-out m.csv` writes the merged metrics registry
+// (CSV by default, full-fidelity JSON when the path ends in `.json`).
+// docs/METRICS.md documents both schemas.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "baselines/gcog.h"
@@ -16,6 +24,7 @@
 #include "baselines/random_provision.h"
 #include "ilp/socl_ilp.h"
 #include "net/topology_families.h"
+#include "obs/recorder.h"
 #include "util/table.h"
 
 namespace {
@@ -34,6 +43,8 @@ struct CliOptions {
   double opt_time_limit = 30.0;
   bool show_placement = false;
   bool help = false;
+  std::string trace_out;    // Chrome-trace JSON path ("" = off)
+  std::string metrics_out;  // metrics CSV/JSON path ("" = off)
 };
 
 void print_usage() {
@@ -49,6 +60,8 @@ void print_usage() {
   --algorithm NAME   socl | rp | jdr | gcog | opt
   --time-limit S     wall limit for --algorithm opt (default 30)
   --placement        print the full deployment map
+  --trace-out F      write a Chrome-trace JSON span log (chrome://tracing)
+  --metrics-out F    write the metrics registry (CSV, or JSON if F ends .json)
   --help             this text
 )";
 }
@@ -104,6 +117,14 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
         const char* v = next_value();
         if (!v) return false;
         options.opt_time_limit = std::stod(v);
+      } else if (arg == "--trace-out") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.trace_out = v;
+      } else if (arg == "--metrics-out") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.metrics_out = v;
       } else {
         std::cerr << "unknown argument: " << arg << '\n';
         return false;
@@ -159,10 +180,21 @@ int main(int argc, char** argv) {
               << " users, catalog " << catalog.name() << ", budget "
               << options.budget << ", lambda " << options.lambda << "\n\n";
 
+    // Attach a recorder only when an observability output was requested;
+    // without one the pipeline runs with null sinks (no instrumentation).
+    std::unique_ptr<obs::Recorder> recorder;
+    if (!options.trace_out.empty() || !options.metrics_out.empty()) {
+      recorder = std::make_unique<obs::Recorder>();
+    }
+    std::optional<obs::ScopedSpan> cli_span;
+    cli_span.emplace(recorder.get(), obs::Phase::kOther, "cli.solve");
+
     core::Solution solution{core::Placement(scenario), std::nullopt, {}, 0.0,
                             {}};
     if (options.algorithm == "socl") {
-      solution = baselines::SoCLAlgorithm().solve(scenario);
+      core::SoCLParams params;
+      params.sink = recorder.get();
+      solution = baselines::SoCLAlgorithm(params).solve(scenario);
     } else if (options.algorithm == "rp") {
       solution = baselines::RandomProvision(options.seed).solve(scenario);
     } else if (options.algorithm == "jdr") {
@@ -180,6 +212,29 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "unknown algorithm: " << options.algorithm << '\n';
       return 2;
+    }
+
+    cli_span.reset();  // close the top-level span before exporting
+
+    if (recorder) {
+      if (!options.trace_out.empty()) {
+        recorder->trace().write_chrome_json(options.trace_out);
+        std::cout << "trace: " << recorder->trace().size() << " spans -> "
+                  << options.trace_out << " (open in chrome://tracing)\n";
+      }
+      if (!options.metrics_out.empty()) {
+        const auto snapshot = recorder->metrics().snapshot();
+        if (options.metrics_out.size() >= 5 &&
+            options.metrics_out.substr(options.metrics_out.size() - 5) ==
+                ".json") {
+          snapshot.write_json(options.metrics_out);
+        } else {
+          snapshot.write_csv(options.metrics_out);
+        }
+        std::cout << "metrics: " << snapshot.entries.size() << " series -> "
+                  << options.metrics_out << '\n';
+      }
+      std::cout << '\n';
     }
 
     std::cout << options.algorithm << ": " << solution.evaluation.summary()

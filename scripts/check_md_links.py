@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Check that relative links and file references in markdown docs resolve.
+
+Stdlib-only, so it runs anywhere (CI docs job, pre-commit). Two checks:
+
+1. Inline markdown links `[text](target)`: external schemes and pure
+   anchors are skipped; everything else must exist relative to the file
+   containing the link (an optional #anchor suffix is stripped).
+2. Backtick path references like `docs/METRICS.md` or `src/obs/` that look
+   like repo paths (start with a known top-level directory and contain a
+   slash) must exist relative to the repo root — these are how the design
+   docs cross-reference code.
+
+Exit status is the number of broken references (0 = clean).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK_PATH = re.compile(r"`([A-Za-z0-9_.]+/[A-Za-z0-9_./-]*)`")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+# Top-level directories whose backtick mentions are treated as paths.
+PATH_ROOTS = ("src", "docs", "tests", "bench", "examples", "scripts")
+
+
+def markdown_files():
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if "build" in path.parts or ".git" in path.parts:
+            continue
+        yield path
+
+
+def check_file(md_path: Path):
+    errors = []
+    text = md_path.read_text(encoding="utf-8")
+    rel = md_path.relative_to(REPO_ROOT)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in INLINE_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (md_path.parent / target_path).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}:{lineno}: broken link -> {target}")
+
+        for match in BACKTICK_PATH.finditer(line):
+            target = match.group(1)
+            root = target.split("/", 1)[0]
+            if root not in PATH_ROOTS:
+                continue
+            # `src/core/socl.{h,cpp}`-style brace groups expand to variants.
+            variants = [target]
+            brace = re.match(r"(.*)\{([^}]*)\}(.*)", target)
+            if brace:
+                variants = [
+                    brace.group(1) + alt + brace.group(3)
+                    for alt in brace.group(2).split(",")
+                ]
+            for variant in variants:
+                # A trailing `*` means "this prefix", as in `workload/trace.*`.
+                candidate = REPO_ROOT / variant.rstrip("*")
+                if not candidate.exists() and not list(
+                    candidate.parent.glob(candidate.name + "*")
+                ):
+                    errors.append(
+                        f"{rel}:{lineno}: dangling path reference -> {variant}"
+                    )
+    return errors
+
+
+def main():
+    all_errors = []
+    count = 0
+    for md_path in markdown_files():
+        count += 1
+        all_errors.extend(check_file(md_path))
+    for error in all_errors:
+        print(error)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not all_errors else f'{len(all_errors)} broken'}")
+    return min(len(all_errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <mutex>
+#include <optional>
 
 #include "core/storage_planning.h"
+#include "obs/sink.h"
 #include "util/timer.h"
 
 namespace socl::core {
@@ -22,6 +24,7 @@ Combiner::Combiner(const Scenario& scenario, const Partitioning& partitioning,
       config_(config),
       evaluator_(scenario),
       engine_(scenario, config.threads, config.use_parallel_scoring) {
+  engine_.set_sink(config_.sink);
   const auto services = static_cast<std::size_t>(scenario.num_microservices());
   const auto nodes = static_cast<std::size_t>(scenario.num_nodes());
 
@@ -173,6 +176,8 @@ double Combiner::zeta_for_instance(MsId m, NodeId k,
 
 std::vector<LatencyLoss> Combiner::latency_losses(
     const Placement& placement) const {
+  const obs::ScopedSpan span(config_.sink, obs::Phase::kCombination,
+                             "combination.latency_losses");
   // Algorithm 4: skip microservices down to one instance (service
   // continuity), compute ζ per remaining instance, return ascending.
   std::vector<std::pair<MsId, NodeId>> instances;
@@ -284,6 +289,8 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
 
   // ---- Large-scale (parallel) stage: lines 1-5 of Algorithm 3. ----
   if (config_.use_parallel_stage) {
+    const obs::ScopedSpan span(config_.sink, obs::Phase::kCombination,
+                               "combination.parallel_stage");
     const double parallel_target =
         budget * std::max(1.0, config_.parallel_slack);
     while (placement.deployment_cost(catalog) >= parallel_target) {
@@ -324,10 +331,13 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
   // would otherwise re-trigger the same migration cascade on every serial
   // candidate, poisoning the Q'' comparison.
   if (config_.use_storage_planning) {
-    plan_storage(*scenario_, placement);
+    plan_storage(*scenario_, placement, config_.sink);
   }
 
   // ---- Small-scale (serial) stage: lines 6-15 of Algorithm 3. ----
+  std::optional<obs::ScopedSpan> serial_span;
+  serial_span.emplace(config_.sink, obs::Phase::kCombination,
+                      "combination.serial_stage");
   std::vector<std::vector<bool>> banned(
       static_cast<std::size_t>(scenario_->num_microservices()),
       std::vector<bool>(static_cast<std::size_t>(scenario_->num_nodes()),
@@ -377,7 +387,7 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
     placement.remove(pick.service, pick.node);
 
     if (config_.use_storage_planning) {
-      const auto plan = plan_storage(*scenario_, placement);
+      const auto plan = plan_storage(*scenario_, placement, config_.sink);
       if (!plan.feasible) {
         // Line 17 of Algorithm 5: storage cannot fit this many instances;
         // keep combining (the removal stands, try the next round).
@@ -413,6 +423,7 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
     }
     ++local_stats.serial_removals;
   }
+  serial_span.reset();
   local_stats.serial_stage_seconds = stage_timer.elapsed_seconds();
   stage_timer.reset();
 
@@ -424,6 +435,8 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
   // verified with the serial objective, preserving the coarse-then-fine
   // multi-scale structure at polish time.
   if (config_.use_relocation) {
+    const obs::ScopedSpan span(config_.sink, obs::Phase::kCombination,
+                               "combination.polish");
     polish(placement);
   }
   local_stats.polish_seconds = stage_timer.elapsed_seconds();
@@ -431,12 +444,16 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
 
   // ---- Multi-start: descend the dense basin as well and keep the best. ----
   if (config_.use_multi_start) {
+    const obs::ScopedSpan span(config_.sink, obs::Phase::kCombination,
+                               "combination.multi_start");
     Placement dense(*scenario_);
     for (MsId m = 0; m < scenario_->num_microservices(); ++m) {
       for (const NodeId k : scenario_->demand_nodes(m)) dense.deploy(m, k);
     }
     descend_to_budget(dense);
-    if (config_.use_storage_planning) plan_storage(*scenario_, dense);
+    if (config_.use_storage_planning) {
+      plan_storage(*scenario_, dense, config_.sink);
+    }
     if (config_.use_relocation) polish(dense);
     const bool dense_ok =
         dense.deployment_cost(scenario_->catalog()) <=
@@ -450,6 +467,24 @@ Placement Combiner::run(const Preprovisioning& pre, CombinationStats* stats) {
 
   local_stats.multi_start_seconds = stage_timer.elapsed_seconds();
   local_stats.routing = engine_.counters();
+  if (config_.sink != nullptr) {
+    obs::ObsSink* const sink = config_.sink;
+    sink->add_counter("socl.combination.runs", 1);
+    sink->add_counter("socl.combination.parallel_rounds",
+                      local_stats.parallel_rounds);
+    sink->add_counter("socl.combination.parallel_removals",
+                      local_stats.parallel_removals);
+    sink->add_counter("socl.combination.serial_removals",
+                      local_stats.serial_removals);
+    sink->add_counter("socl.combination.rollbacks", local_stats.rollbacks);
+    sink->observe("socl.combination.parallel_stage_s",
+                  local_stats.parallel_stage_seconds);
+    sink->observe("socl.combination.serial_stage_s",
+                  local_stats.serial_stage_seconds);
+    sink->observe("socl.combination.polish_s", local_stats.polish_seconds);
+    sink->observe("socl.combination.multi_start_s",
+                  local_stats.multi_start_seconds);
+  }
   if (stats != nullptr) *stats = local_stats;
   return placement;
 }

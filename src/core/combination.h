@@ -23,6 +23,10 @@
 #include "core/routing_engine.h"
 #include "util/thread_pool.h"
 
+namespace socl::obs {
+class ObsSink;
+}
+
 namespace socl::core {
 
 struct CombinationConfig {
@@ -61,6 +65,11 @@ struct CombinationConfig {
   /// the better basin. Costs roughly one extra descent; still far cheaper
   /// than GC-OG's exhaustive per-move scans.
   bool use_multi_start = true;
+  /// Observability sink: stage spans (`combination.*`, `storage_planning`),
+  /// ζ-list spans, and the `socl.combination.*` counters are emitted here;
+  /// also forwarded to the routing engine. SoCL::solve copies its own sink
+  /// in when this is null; null disables instrumentation (DESIGN.md §4e).
+  obs::ObsSink* sink = nullptr;
 };
 
 struct CombinationStats {

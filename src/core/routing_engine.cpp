@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/sink.h"
 #include "util/timer.h"
 
 namespace socl::core {
@@ -59,6 +60,7 @@ double RoutingEngine::combine(double cost, double total_latency) const {
 }
 
 void RoutingEngine::refresh(const Placement& placement) {
+  const obs::ScopedSpan span(sink_, obs::Phase::kRouting, "routing.refresh");
   util::WallTimer timer;
   cached_latency_.assign(scenario_->requests().size(), kInf);
   cached_routes_.resize(scenario_->requests().size());
@@ -167,6 +169,8 @@ double RoutingEngine::full_objective(const Placement& placement) {
 std::vector<double> RoutingEngine::score_candidates(
     std::size_t n,
     const std::function<double(std::size_t, ScoreContext&)>& score) {
+  const obs::ScopedSpan span(sink_, obs::Phase::kRouting,
+                             "routing.score_candidates");
   util::WallTimer timer;
   std::vector<double> results(n, kInf);
   counters_.candidates_scored += static_cast<std::int64_t>(n);
@@ -196,6 +200,7 @@ std::vector<double> RoutingEngine::score_candidates(
 
 std::optional<Assignment> RoutingEngine::route_all(
     const Placement& placement) {
+  const obs::ScopedSpan span(sink_, obs::Phase::kRouting, "routing.route_all");
   Assignment assignment(*scenario_);
   RouteScratch& scratch = scratches_.front();
   for (const auto& request : scenario_->requests()) {

@@ -17,6 +17,10 @@
 //   - RoutingCounters: routes computed, cache hits, reroutes avoided, and
 //     wall time per stage, threaded into CombinationStats and printed by
 //     bench_micro / bench_ablation so speedups are measured, not asserted.
+//
+// DESIGN.md §4c documents the cache/scoring contract; set_sink() attaches
+// the observability layer (§4e) — refresh/score/route_all emit `routing.*`
+// spans and SoCL::solve flushes the counters as `socl.routing.*` metrics.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +30,10 @@
 
 #include "core/routing.h"
 #include "util/thread_pool.h"
+
+namespace socl::obs {
+class ObsSink;
+}
 
 namespace socl::core {
 
@@ -124,6 +132,13 @@ class RoutingEngine {
   const RoutingCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
 
+  /// Observability sink for the engine's entry-point spans (refresh /
+  /// score_candidates / route_all). Call-granular on purpose: the per-user
+  /// DP inner loops stay uninstrumented, so the enabled overhead on the
+  /// scoring hot path is <2% (bench_obs). nullptr disables.
+  void set_sink(obs::ObsSink* sink) { sink_ = sink; }
+  obs::ObsSink* sink() const { return sink_; }
+
   const ChainRouter& router() const { return router_; }
 
  private:
@@ -145,6 +160,7 @@ class RoutingEngine {
   /// Worker-slot scratches (index 0 doubles as the serial-path scratch).
   std::vector<RouteScratch> scratches_;
   RoutingCounters counters_;
+  obs::ObsSink* sink_ = nullptr;
 };
 
 }  // namespace socl::core

@@ -3,12 +3,20 @@
 // region-based initial partition (Algorithm 1), instance pre-provisioning
 // (Algorithm 2), and multi-scale combination (Algorithms 3-5) — then routes
 // the resulting placement exactly and reports the evaluation.
+//
+// Set SoCLParams::sink to profile a solve: every phase emits a span and the
+// pipeline metrics of docs/METRICS.md (DESIGN.md §4e); leaving it null
+// (the default) disables instrumentation at the cost of one branch.
 #pragma once
 
 #include <optional>
 #include <string>
 
 #include "core/combination.h"
+
+namespace socl::obs {
+class ObsSink;
+}
 
 namespace socl::core {
 
@@ -22,6 +30,12 @@ struct SoCLParams {
   /// alternative (one group / all demand nodes).
   bool use_partition = true;
   bool use_preprovision = true;
+  /// Observability sink (DESIGN.md §4e): phase spans and pipeline metrics
+  /// are emitted here when non-null and forwarded to the combiner/routing
+  /// engine unless `combination.sink` is set explicitly. nullptr (the
+  /// default) disables all instrumentation at the cost of one branch per
+  /// hook (`bench_obs` measures it).
+  obs::ObsSink* sink = nullptr;
 };
 
 /// A provisioning + routing solution with bookkeeping for the benches.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/fuzzy_ahp.h"
+#include "obs/sink.h"
 
 namespace socl::core {
 namespace {
@@ -72,8 +73,10 @@ std::vector<double> local_demand_factors(const Scenario& scenario,
   return fuzzy_ahp_scores(values, rho_weights(), rho_kinds());
 }
 
-StoragePlanResult plan_storage(const Scenario& scenario,
-                               Placement& placement) {
+StoragePlanResult plan_storage(const Scenario& scenario, Placement& placement,
+                               obs::ObsSink* sink) {
+  const obs::ScopedSpan span(sink, obs::Phase::kFuzzyAhp, "storage_planning");
+  obs::add_counter(sink, "socl.storage.plans", 1);
   StoragePlanResult result;
   const auto& catalog = scenario.catalog();
   const auto& network = scenario.network();
@@ -103,7 +106,11 @@ StoragePlanResult plan_storage(const Scenario& scenario,
       for (MsId m = 0; m < scenario.num_microservices(); ++m) {
         if (placement.deployed(m, k)) deployed.push_back(m);
       }
-      const auto rho = local_demand_factors(scenario, placement, k, deployed);
+      const auto rho = [&] {
+        const obs::ScopedSpan rho_span(sink, obs::Phase::kFuzzyAhp,
+                                       "fuzzy_ahp.rho");
+        return local_demand_factors(scenario, placement, k, deployed);
+      }();
 
       // Try instances in ascending ρ until one can be migrated.
       std::vector<std::size_t> order(deployed.size());
@@ -130,6 +137,7 @@ StoragePlanResult plan_storage(const Scenario& scenario,
             placement.remove(m, k);
             placement.deploy(m, q);
             result.migrations.push_back({m, k, q});
+            obs::add_counter(sink, "socl.storage.migrations", 1);
             migrated = true;
             break;
           }

@@ -12,6 +12,10 @@
 
 #include "core/placement.h"
 
+namespace socl::obs {
+class ObsSink;
+}
+
 namespace socl::core {
 
 /// Order factor R_vk^mi: weights users for whom m is first (3), last (2),
@@ -36,7 +40,10 @@ struct StoragePlanResult {
   std::vector<Migration> migrations;
 };
 
-/// Runs Algorithm 5 in place on `placement`.
-StoragePlanResult plan_storage(const Scenario& scenario, Placement& placement);
+/// Runs Algorithm 5 in place on `placement`. A non-null `sink` receives a
+/// `storage_planning` span (plus `fuzzy_ahp.rho` sub-spans per eviction
+/// round) and the `socl.storage.*` counters (docs/METRICS.md).
+StoragePlanResult plan_storage(const Scenario& scenario, Placement& placement,
+                               obs::ObsSink* sink = nullptr);
 
 }  // namespace socl::core

@@ -1,0 +1,67 @@
+// Recorder: the standard ObsSink — spans go to a Chrome-trace buffer,
+// metric updates to the sharded registry, and every completed span is also
+// folded into an automatic per-phase duration histogram
+// (`socl.span.<phase>_us`, docs/METRICS.md). Attach one to
+// `core::SoCLParams::sink` (or the serverless / slot-sim configs) and write
+// both artefacts at the end of a run:
+//
+//   socl::obs::Recorder recorder;
+//   params.sink = &recorder;                 // instrument the pipeline
+//   ... run ...
+//   recorder.trace().write_chrome_json("trace.json");
+//   recorder.metrics().snapshot().write_csv("metrics.csv");
+//
+// `socl_cli --trace-out/--metrics-out` is exactly this wiring.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+
+namespace socl::obs {
+
+class Recorder final : public ObsSink {
+ public:
+  Recorder() : base_(std::chrono::steady_clock::now()) {}
+
+  double now_us() const override {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - base_)
+        .count();
+  }
+
+  void record_span(Phase phase, const char* name, double start_us,
+                   double dur_us) override {
+    trace_.record(phase, name, start_us, dur_us);
+    metrics_.observe(span_metric_name(phase), dur_us);
+  }
+
+  void add_counter(const char* name, std::int64_t delta) override {
+    metrics_.counter_add(name, delta);
+  }
+
+  void set_gauge(const char* name, double value) override {
+    metrics_.gauge_set(name, value);
+  }
+
+  void observe(const char* name, double value) override {
+    metrics_.observe(name, value);
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  /// `socl.span.<phase>_us` — the automatic phase-duration histogram key.
+  static const char* span_metric_name(Phase phase);
+
+ private:
+  std::chrono::steady_clock::time_point base_;
+  MetricsRegistry metrics_;
+  TraceBuffer trace_;
+};
+
+}  // namespace socl::obs

@@ -1,0 +1,106 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace socl::obs {
+namespace {
+
+std::string json_escape(const char* text) {
+  std::string out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_fixed(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  out += buffer;
+}
+
+}  // namespace
+
+void TraceBuffer::record(Phase phase, const char* name, double start_us,
+                         double dur_us) {
+  const std::thread::id self = std::this_thread::get_id();
+  const std::lock_guard<std::mutex> lock(mu_);
+  int tid = -1;
+  for (std::size_t i = 0; i < thread_ids_.size(); ++i) {
+    if (thread_ids_[i] == self) {
+      tid = static_cast<int>(i);
+      break;
+    }
+  }
+  if (tid < 0) {
+    tid = static_cast<int>(thread_ids_.size());
+    thread_ids_.push_back(self);
+  }
+  events_.push_back(TraceEvent{phase, name, start_us, dur_us, tid});
+}
+
+std::size_t TraceBuffer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceBuffer::to_chrome_json() const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::string out;
+  out.reserve(snapshot.size() * 96 + 256);
+  out +=
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"name\":"
+      "\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":"
+      "\"socl\"}}";
+  for (const TraceEvent& event : snapshot) {
+    out += ",{\"name\":\"";
+    out += json_escape(event.name);
+    out += "\",\"cat\":\"";
+    out += phase_name(event.phase);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_fixed(out, event.start_us);
+    out += ",\"dur\":";
+    append_fixed(out, std::max(event.dur_us, 0.0));
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(event.tid);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceBuffer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("TraceBuffer: cannot open " + path);
+  }
+  out << to_chrome_json() << '\n';
+  if (!out) {
+    throw std::runtime_error("TraceBuffer: failed writing " + path);
+  }
+}
+
+}  // namespace socl::obs

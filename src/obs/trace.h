@@ -1,0 +1,55 @@
+// Structured trace buffer: completed spans with phase labels, exported in
+// the Chrome `trace_event` JSON format so a run opens directly in
+// chrome://tracing or https://ui.perfetto.dev (DESIGN.md §4e has the span
+// taxonomy; EXPERIMENTS.md walks through reading a trace).
+//
+// Recording is a single short mutex-guarded append of a POD record — span
+// names are string literals owned by the instrumentation sites, so the
+// steady state allocates only when the vector grows. Spans are recorded on
+// completion (`ph: "X"` complete events), which keeps the writer trivially
+// crash-consistent: the buffer only ever holds well-formed events.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace socl::obs {
+
+/// One completed span; times are microseconds relative to the owning
+/// sink's time base.
+struct TraceEvent {
+  Phase phase = Phase::kOther;
+  const char* name = "";
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;  ///< dense per-buffer thread id (0 = first recording thread)
+};
+
+class TraceBuffer {
+ public:
+  /// Appends a completed span, stamping the calling thread's dense id.
+  void record(Phase phase, const char* name, double start_us, double dur_us);
+
+  std::size_t size() const;
+  /// Copy of the recorded events (insertion order).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON: an object with a `traceEvents` array of
+  /// complete (`"ph":"X"`) events; `cat` carries the phase label, `ts`/`dur`
+  /// are microseconds. Loads directly in chrome://tracing and Perfetto.
+  std::string to_chrome_json() const;
+  /// Writes `to_chrome_json()` to `path`; throws std::runtime_error on I/O
+  /// failure.
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::thread::id> thread_ids_;  ///< index = dense tid
+};
+
+}  // namespace socl::obs

@@ -11,6 +11,9 @@
 //   - SoCLPrewarmPolicy: pre-warms from the Algorithm 2 pre-provisioning
 //     quotas (the paper's placement already says where demand concentrates),
 //     with reactive scaling as a backstop.
+//
+// DESIGN.md §4d describes the runtime these policies drive; the policy
+// comparison lives in bench_serverless (EXPERIMENTS.md).
 #pragma once
 
 #include <memory>

@@ -6,6 +6,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/sink.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -140,6 +141,8 @@ RuntimeMetrics ServerlessRuntime::run(
     std::span<const Arrival> arrivals, const ScalingPolicy& policy,
     std::uint64_t seed, const core::Placement* carried,
     std::vector<EventRecord>* event_log) const {
+  const obs::ScopedSpan run_span(config_.sink, obs::Phase::kServerless,
+                                 "serverless.run");
   const auto& scenario = *scenario_;
   const auto& catalog = scenario.catalog();
   const auto& network = scenario.network();
@@ -569,6 +572,25 @@ RuntimeMetrics ServerlessRuntime::run(
               : 0.0;
       metrics.pool_utilisation[b] =
           live_time[b] > 0.0 ? busy_time[b] / live_time[b] : 0.0;
+    }
+  }
+
+  if (config_.sink != nullptr) {
+    obs::ObsSink* const sink = config_.sink;
+    sink->add_counter("socl.serverless.runs", 1);
+    sink->add_counter("socl.serverless.invocations", totals.invocations);
+    sink->add_counter("socl.serverless.warm_hits", totals.warm_hits);
+    sink->add_counter("socl.serverless.cold_serves", totals.cold_serves);
+    sink->add_counter("socl.serverless.queue_serves", totals.queue_serves);
+    sink->add_counter("socl.serverless.demand_boots", totals.demand_boots);
+    sink->add_counter("socl.serverless.prewarm_boots", totals.prewarm_boots);
+    sink->add_counter("socl.serverless.expirations", totals.expirations);
+    sink->set_gauge("socl.serverless.peak_live",
+                    static_cast<double>(totals.peak_live));
+    for (const RequestOutcome& outcome : metrics.requests) {
+      sink->observe("socl.serverless.request_total_s", outcome.total_s());
+      sink->observe("socl.serverless.request_queue_s", outcome.queue_s);
+      sink->observe("socl.serverless.request_cold_s", outcome.cold_s);
     }
   }
   return metrics;

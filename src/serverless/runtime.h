@@ -31,6 +31,10 @@
 #include "serverless/arrivals.h"
 #include "serverless/policy.h"
 
+namespace socl::obs {
+class ObsSink;
+}
+
 namespace socl::serverless {
 
 struct ServerlessConfig {
@@ -57,6 +61,11 @@ struct ServerlessConfig {
   /// (1 = serial, 0 = hardware concurrency). Results are bit-identical for
   /// any value.
   int threads = 1;
+  /// Observability sink: each run() emits a `serverless.run` span, the
+  /// `socl.serverless.*` lifecycle counters, and per-request latency
+  /// decomposition histograms (docs/METRICS.md). nullptr disables; the
+  /// simulated event stream itself is unaffected either way.
+  obs::ObsSink* sink = nullptr;
 };
 
 /// Per-request end-to-end measurement; the four components always sum to

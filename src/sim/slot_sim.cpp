@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/online.h"
+#include "obs/sink.h"
 #include "workload/request_gen.h"
 
 namespace socl::sim {
@@ -72,6 +73,8 @@ std::vector<SlotMetrics> run_slotted(
   std::vector<SlotMetrics> series;
   series.reserve(static_cast<std::size_t>(sim_config.slots));
   for (int slot = 0; slot < sim_config.slots; ++slot) {
+    const obs::ScopedSpan slot_span(sim_config.sink, obs::Phase::kSim,
+                                    "sim.slot");
     auto requests = scenario.requests();
     workload::mobility_step(scenario.network(), requests, weights,
                             sim_config.mobility, rng);
@@ -115,8 +118,12 @@ std::vector<SlotMetrics> run_slotted(
           static_cast<int>(scenario.requests().size()), arrival_config);
       const auto policy =
           make_policy(sim_config.serverless.policy, scenario);
-      const serverless::ServerlessRuntime runtime(
-          scenario, sim_config.serverless.runtime);
+      serverless::ServerlessConfig runtime_config =
+          sim_config.serverless.runtime;
+      if (runtime_config.sink == nullptr) {
+        runtime_config.sink = sim_config.sink;
+      }
+      const serverless::ServerlessRuntime runtime(scenario, runtime_config);
       const auto run = runtime.run(
           solution.placement, *solution.assignment, arrivals, *policy,
           arrival_config.seed ^ 0x5E71E55ULL,
@@ -127,6 +134,16 @@ std::vector<SlotMetrics> run_slotted(
           run.totals.demand_boots + run.totals.prewarm_boots;
       metrics.serverless_mean_s = run.mean_latency_s();
       metrics.cold_wait_mean_s = run.mean_cold_s();
+    }
+
+    if (sim_config.sink != nullptr) {
+      obs::ObsSink* const sink = sim_config.sink;
+      sink->add_counter("socl.sim.slots", 1);
+      sink->add_counter("socl.sim.placement_churn", metrics.placement_churn);
+      sink->add_counter("socl.sim.deadline_violations",
+                        metrics.deadline_violations);
+      sink->observe("socl.sim.solve_s", metrics.solve_seconds);
+      sink->set_gauge("socl.sim.objective", metrics.objective);
     }
 
     carried = solution.placement;

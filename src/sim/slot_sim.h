@@ -20,6 +20,10 @@
 #include "serverless/runtime.h"
 #include "workload/mobility.h"
 
+namespace socl::obs {
+class ObsSink;
+}
+
 namespace socl::sim {
 
 /// Scaling policy selector for the slot simulator's serverless mode. The
@@ -52,6 +56,11 @@ struct SlotSimConfig {
                      const core::Solution& solution,
                      const SlotMetrics& metrics)>
       observer;
+  /// Observability sink: a `sim.slot` span plus `socl.sim.*` metrics per
+  /// slot; forwarded to the serverless runtime when its own config leaves
+  /// `sink` null. Does NOT reach the algorithm under test — set
+  /// `SoCLParams::sink` for solver-phase spans. nullptr disables.
+  obs::ObsSink* sink = nullptr;
 };
 
 struct SlotMetrics {
