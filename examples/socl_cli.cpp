@@ -26,6 +26,7 @@
 #include "net/topology_families.h"
 #include "obs/recorder.h"
 #include "util/table.h"
+#include "validate/validator.h"
 
 namespace {
 
@@ -42,6 +43,7 @@ struct CliOptions {
   std::string algorithm = "socl";
   double opt_time_limit = 30.0;
   bool show_placement = false;
+  bool validate = false;
   bool help = false;
   std::string trace_out;    // Chrome-trace JSON path ("" = off)
   std::string metrics_out;  // metrics CSV/JSON path ("" = off)
@@ -60,6 +62,8 @@ void print_usage() {
   --algorithm NAME   socl | rp | jdr | gcog | opt
   --time-limit S     wall limit for --algorithm opt (default 30)
   --placement        print the full deployment map
+  --validate         re-audit the solution with the independent constraint
+                     validator (DESIGN.md §4f); non-zero exit on violations
   --trace-out F      write a Chrome-trace JSON span log (chrome://tracing)
   --metrics-out F    write the metrics registry (CSV, or JSON if F ends .json)
   --help             this text
@@ -81,6 +85,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
         options.help = true;
       } else if (arg == "--placement") {
         options.show_placement = true;
+      } else if (arg == "--validate") {
+        options.validate = true;
       } else if (arg == "--nodes") {
         const char* v = next_value();
         if (!v) return false;
@@ -194,6 +200,11 @@ int main(int argc, char** argv) {
     if (options.algorithm == "socl") {
       core::SoCLParams params;
       params.sink = recorder.get();
+      if (options.validate) {
+        // Debug hook: every solve is re-audited and the socl.validate.*
+        // counters land in the recorder (when one is attached).
+        validate::install_validation(params);
+      }
       solution = baselines::SoCLAlgorithm(params).solve(scenario);
     } else if (options.algorithm == "rp") {
       solution = baselines::RandomProvision(options.seed).solve(scenario);
@@ -242,6 +253,18 @@ int main(int argc, char** argv) {
               << " ms, " << solution.placement.total_instances()
               << " instances\n";
 
+    bool violations_found = false;
+    if (options.validate) {
+      // Independent re-audit (works for every algorithm, not just socl).
+      const validate::SolutionValidator validator(scenario);
+      const validate::Report report =
+          solution.assignment.has_value()
+              ? validator.validate(solution.placement, *solution.assignment)
+              : validator.validate_placement(solution.placement);
+      std::cout << "\nvalidator: " << report.summary() << '\n';
+      violations_found = !report.ok();
+    }
+
     if (options.show_placement) {
       util::Table table({"microservice", "instances", "nodes"});
       for (core::MsId m = 0; m < scenario.num_microservices(); ++m) {
@@ -257,7 +280,7 @@ int main(int argc, char** argv) {
       std::cout << '\n';
       table.print(std::cout);
     }
-    return 0;
+    return violations_found ? 3 : 0;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

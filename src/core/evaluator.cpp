@@ -1,6 +1,7 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -71,6 +72,14 @@ Evaluation Evaluator::evaluate(const Placement& placement,
   for (const auto& request : scenario_->requests()) {
     const double d =
         router_.completion_time(request, assignment.user_route(request.id));
+    if (!std::isfinite(d)) {
+      // A hop crosses a disconnected component (or the route is otherwise
+      // unservable): mirror the routed overload instead of letting +inf
+      // leak into total/mean_latency with routable still true.
+      eval.routable = false;
+      eval.objective = std::numeric_limits<double>::infinity();
+      return eval;
+    }
     total += d;
     worst = std::max(worst, d);
     if (d > request.deadline + 1e-9) ++eval.deadline_violations;

@@ -88,6 +88,9 @@ Solution SoCL::solve(const Scenario& scenario) const {
     sink->observe("socl.routing.refresh_s", routing.refresh_seconds);
     sink->observe("socl.routing.score_s", routing.score_seconds);
   }
+  if (params_.post_solve_hook) {
+    params_.post_solve_hook(scenario, solution, sink);
+  }
   return solution;
 }
 

@@ -9,6 +9,7 @@
 // (the default) disables instrumentation at the cost of one branch.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -19,6 +20,8 @@ class ObsSink;
 }
 
 namespace socl::core {
+
+struct Solution;
 
 /// All tunables of the framework; each maps to a paper hyper-parameter or an
 /// ablation switch called out in DESIGN.md.
@@ -36,6 +39,13 @@ struct SoCLParams {
   /// default) disables all instrumentation at the cost of one branch per
   /// hook (`bench_obs` measures it).
   obs::ObsSink* sink = nullptr;
+  /// Post-solve debug hook, invoked with the finished solution just before
+  /// `solve` returns (after metrics emission). The validate layer installs
+  /// its independent constraint audit here (`validate::install_validation`);
+  /// kept as a std::function so socl_core needs no dependency on it.
+  /// Default-empty — production solves pay one branch.
+  std::function<void(const Scenario&, const Solution&, obs::ObsSink*)>
+      post_solve_hook;
 };
 
 /// A provisioning + routing solution with bookkeeping for the benches.

@@ -42,14 +42,19 @@ double order_factor(const Scenario& scenario, MsId m, NodeId k) {
   int first = 0, last = 0, mid = 0;
   for (const int h : scenario.users_at(k)) {
     const auto& request = scenario.request(h);
-    const int pos = request.position_of(m);
-    if (pos < 0) continue;
-    if (pos == 0) {
-      ++first;
-    } else if (pos + 1 == static_cast<int>(request.chain.size())) {
-      ++last;
-    } else {
-      ++mid;
+    // A microservice may appear at several chain positions (repeats are
+    // legal); every occurrence contributes. position_of() would only see
+    // the first one, under-weighting e.g. the tail of [A, B, A].
+    const int len = static_cast<int>(request.chain.size());
+    for (int pos = 0; pos < len; ++pos) {
+      if (request.chain[static_cast<std::size_t>(pos)] != m) continue;
+      if (pos == 0) {
+        ++first;
+      } else if (pos + 1 == len) {
+        ++last;
+      } else {
+        ++mid;
+      }
     }
   }
   const int total = first + last + mid;

@@ -95,6 +95,16 @@ struct SearchState {
 
 }  // namespace
 
+const char* to_string(ExactStatus status) {
+  switch (status) {
+    case ExactStatus::kOptimal: return "optimal";
+    case ExactStatus::kIncumbent: return "incumbent";
+    case ExactStatus::kTimedOut: return "timed-out";
+    case ExactStatus::kInfeasible: return "infeasible";
+  }
+  return "unknown";
+}
+
 ExactResult solve_exact(const core::Scenario& scenario,
                         const ExactOptions& options) {
   if (scenario.num_nodes() > 16) {
@@ -108,10 +118,15 @@ ExactResult solve_exact(const core::Scenario& scenario,
   }
   state.recurse(0);
 
-  ExactResult result{state.found, state.timed_out, state.best_objective,
-                     state.best, state.scored};
-  if (!state.found) result.objective = 0.0;
-  return result;
+  const ExactStatus status =
+      state.found ? (state.timed_out ? ExactStatus::kIncumbent
+                                     : ExactStatus::kOptimal)
+                  : (state.timed_out ? ExactStatus::kTimedOut
+                                     : ExactStatus::kInfeasible);
+  // best_objective stays +inf when nothing feasible was found — the old
+  // code rewrote it to 0.0, which read as a perfect score downstream.
+  return ExactResult{state.found, state.timed_out, status,
+                     state.best_objective, state.best, state.scored};
 }
 
 }  // namespace socl::ilp

@@ -4,6 +4,8 @@
 // MIP model and the heuristics in tests, not for benchmarks at scale.
 #pragma once
 
+#include <limits>
+
 #include "core/evaluator.h"
 
 namespace socl::ilp {
@@ -16,10 +18,25 @@ struct ExactOptions {
   bool enforce_storage = true;
 };
 
+/// How the search terminated. Distinguishes "searched everything, nothing
+/// feasible" (kInfeasible) from "ran out of time before any leaf"
+/// (kTimedOut) — callers must not treat the latter as a proof.
+enum class ExactStatus {
+  kOptimal,     ///< full search completed; `objective` is the true optimum
+  kIncumbent,   ///< timed out holding a feasible solution (upper bound only)
+  kTimedOut,    ///< timed out with no feasible solution found — no verdict
+  kInfeasible,  ///< full search completed; no feasible placement exists
+};
+
+const char* to_string(ExactStatus status);
+
 struct ExactResult {
   bool found = false;
   bool timed_out = false;
-  double objective = 0.0;
+  ExactStatus status = ExactStatus::kInfeasible;
+  /// Best objective when `found`; +inf otherwise (an infeasible instance
+  /// must never compare as better than a feasible one).
+  double objective = std::numeric_limits<double>::infinity();
   core::Placement placement;
   std::size_t placements_scored = 0;
 };

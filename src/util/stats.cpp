@@ -6,6 +6,32 @@
 #include <stdexcept>
 
 namespace socl::util {
+namespace {
+
+/// Interpolates between two adjacent order statistics without poisoning the
+/// result: the textbook `lo + frac * (hi - lo)` evaluates `0.0 * inf` or
+/// `inf - inf` (both NaN) when a neighbour is infinite. Exact ranks and
+/// equal neighbours short-circuit; a non-finite neighbour falls back to
+/// nearest-rank (round half up).
+double interpolate_rank(double lo_value, double hi_value, double frac) {
+  if (frac == 0.0 || lo_value == hi_value) return lo_value;
+  if (!std::isfinite(lo_value) || !std::isfinite(hi_value)) {
+    return frac < 0.5 ? lo_value : hi_value;
+  }
+  return lo_value + frac * (hi_value - lo_value);
+}
+
+/// NaN breaks the strict weak ordering std::sort / std::nth_element require,
+/// which silently scrambles the order statistics; reject it up front.
+void reject_nan(const std::vector<double>& values, const char* fn) {
+  for (const double v : values) {
+    if (std::isnan(v)) {
+      throw std::invalid_argument(std::string(fn) + ": NaN in input");
+    }
+  }
+}
+
+}  // namespace
 
 void RunningStats::add(double x) {
   if (count_ == 0) {
@@ -49,13 +75,14 @@ double percentile(std::vector<double> values, double p) {
   if (p < 0.0 || p > 100.0) {
     throw std::invalid_argument("percentile: p out of [0,100]");
   }
+  reject_nan(values, "percentile");
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values.front();
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return values[lo] + frac * (values[hi] - values[lo]);
+  return interpolate_rank(values[lo], values[hi], frac);
 }
 
 double median(std::vector<double> values) {
@@ -65,6 +92,7 @@ double median(std::vector<double> values) {
 std::vector<double> quantiles(std::vector<double> values,
                               std::span<const double> ps) {
   if (values.empty()) throw std::invalid_argument("quantiles: empty input");
+  reject_nan(values, "quantiles");
   for (const double p : ps) {
     if (p < 0.0 || p > 100.0) {
       throw std::invalid_argument("quantiles: p out of [0,100]");
@@ -99,7 +127,7 @@ std::vector<double> quantiles(std::vector<double> values,
       }
       sorted_below = hi + 1;
     }
-    out[i] = values[lo] + frac * (values[hi] - values[lo]);
+    out[i] = interpolate_rank(values[lo], values[hi], frac);
   }
   return out;
 }

@@ -36,6 +36,9 @@ class RunningStats {
 };
 
 /// Percentile with linear interpolation; p in [0, 100]. Sorts a copy.
+/// ±inf samples are legal (interpolation next to one falls back to
+/// nearest-rank instead of producing NaN); a NaN sample throws
+/// std::invalid_argument, since NaN breaks the sort's ordering.
 double percentile(std::vector<double> values, double p);
 
 /// Median shortcut.
@@ -43,7 +46,8 @@ double median(std::vector<double> values);
 
 /// Batch percentile extraction via nth_element instead of a full sort:
 /// returns one value per entry of `ps` (each in [0, 100], any order), with
-/// the same linear interpolation as percentile(). Ranks are visited in
+/// the same linear interpolation (and ±inf / NaN rules) as percentile().
+/// Ranks are visited in
 /// ascending order so each nth_element call only partitions the suffix the
 /// previous calls left unsorted — O(n · |ps|) worst case, ~O(n) in practice,
 /// vs O(n log n) per percentile for the sort-based variant.

@@ -5,6 +5,8 @@
 
 #include <cmath>
 
+#include "workload/catalog.h"
+
 namespace socl::core {
 namespace {
 
@@ -105,6 +107,39 @@ TEST(EvaluatorTest, SuboptimalAssignmentScoresWorse) {
   const auto optimal = evaluator.evaluate(placement);
   const auto forced = evaluator.evaluate(placement, bad);
   EXPECT_GE(forced.total_latency, optimal.total_latency - 1e-9);
+}
+
+// Regression: a fixed assignment whose hop crosses a disconnected component
+// has completion time +inf; the assignment overload used to keep
+// routable == true and let the infinity leak into total/mean_latency.
+TEST(EvaluatorTest, UnreachableHopInAssignmentIsUnroutable) {
+  net::EdgeNetwork network;
+  for (int k = 0; k < 2; ++k) {
+    net::EdgeNode node;
+    node.compute_gflops = 10.0;
+    node.storage_units = 10.0;
+    network.add_node(node);  // two isolated nodes, no link
+  }
+  workload::UserRequest request;
+  request.id = 0;
+  request.attach_node = 0;
+  request.chain = {0};
+  const Scenario scenario(std::move(network), workload::tiny_catalog(),
+                          {request}, ProblemConstants{});
+
+  Placement placement(scenario);
+  placement.deploy(0, 1);  // the only instance sits across the gap
+  Assignment assignment(scenario);
+  assignment.set(0, 0, 1);  // consistent: node 1 does host ms 0
+
+  const Evaluator evaluator(scenario);
+  const auto eval = evaluator.evaluate(placement, assignment);
+  EXPECT_FALSE(eval.routable);
+  EXPECT_TRUE(std::isinf(eval.objective));
+  EXPECT_FALSE(eval.feasible());
+  // The latency aggregates must not have absorbed the infinity.
+  EXPECT_TRUE(std::isfinite(eval.total_latency));
+  EXPECT_TRUE(std::isfinite(eval.mean_latency));
 }
 
 TEST(EvaluatorTest, InconsistentAssignmentIsUnroutable) {

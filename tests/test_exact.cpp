@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/socl.h"
 
 namespace socl::ilp {
@@ -22,6 +24,7 @@ TEST(ExactSolver, FindsSolutionOnMicroInstance) {
   const auto result = solve_exact(scenario);
   ASSERT_TRUE(result.found);
   EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.status, ExactStatus::kOptimal);
   EXPECT_GT(result.placements_scored, 0u);
   const core::Evaluator evaluator(scenario);
   const auto eval = evaluator.evaluate(result.placement);
@@ -80,6 +83,35 @@ TEST(ExactSolver, TimeLimitReported) {
   options.time_limit_s = 0.0;
   const auto result = solve_exact(scenario, options);
   EXPECT_TRUE(result.timed_out);
+  if (!result.found) {
+    // Timing out before any leaf is NOT a proof of infeasibility and the
+    // objective must not read as a perfect score.
+    EXPECT_EQ(result.status, ExactStatus::kTimedOut);
+    EXPECT_TRUE(std::isinf(result.objective));
+  } else {
+    EXPECT_EQ(result.status, ExactStatus::kIncumbent);
+  }
+}
+
+// Regression: an infeasible instance used to come back with objective 0.0 —
+// a perfect score for any caller that forgot to check `found`.
+TEST(ExactSolver, InfeasibleReportsInfinityNotZero) {
+  auto config = micro_config();
+  config.constants.budget = 10.0;  // cheapest instance costs far more
+  const auto scenario = core::make_scenario(config, 6);
+  const auto result = solve_exact(scenario);
+  ASSERT_FALSE(result.found);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.status, ExactStatus::kInfeasible);
+  EXPECT_TRUE(std::isinf(result.objective));
+  EXPECT_GT(result.objective, 0.0);  // +inf, never a best-possible 0
+}
+
+TEST(ExactSolver, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(ExactStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(ExactStatus::kIncumbent), "incumbent");
+  EXPECT_STREQ(to_string(ExactStatus::kTimedOut), "timed-out");
+  EXPECT_STREQ(to_string(ExactStatus::kInfeasible), "infeasible");
 }
 
 TEST(ExactSolver, DeadlineEnforcementToggle) {

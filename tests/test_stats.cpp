@@ -81,6 +81,58 @@ TEST(Percentile, RejectsEmptyAndBadP) {
   EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
 }
 
+// Regression: interpolating next to an infinity used to evaluate
+// `0.0 * (inf - finite)` or `inf - inf`, both NaN, which poisoned every
+// rank at or above the first +inf sample.
+TEST(Percentile, InfinityNeighborDoesNotPoison) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> values{1.0, 2.0, inf};
+  // rank 1.0: exact hit on the finite 2.0 — used to be 2 + 0*(inf-2) = NaN.
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(median(values), 2.0);
+  // rank 1.2: nearest-rank fallback keeps the finite neighbour.
+  EXPECT_DOUBLE_EQ(percentile(values, 60.0), 2.0);
+  // rank 1.5 rounds half up into the infinite neighbour.
+  EXPECT_TRUE(std::isinf(percentile(values, 75.0)));
+  EXPECT_TRUE(std::isinf(percentile(values, 100.0)));
+}
+
+TEST(Percentile, NegativeInfinityNeighborDoesNotPoison) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> values{-inf, 1.0, 2.0};
+  // rank 0.5 used to be -inf + 0.5*(1 - (-inf)) = NaN.
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 10.0), -inf);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), -inf);
+}
+
+TEST(Percentile, EqualInfiniteNeighborsShortCircuit) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // lo == hi == inf used to compute inf + frac*(inf - inf) = NaN.
+  EXPECT_TRUE(std::isinf(percentile({inf, inf}, 50.0)));
+  EXPECT_TRUE(std::isinf(percentile({1.0, inf, inf, inf}, 80.0)));
+}
+
+TEST(Percentile, NanInputThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN breaks the sort's strict weak ordering — reject, don't scramble.
+  EXPECT_THROW(percentile({1.0, nan, 2.0}, 50.0), std::invalid_argument);
+  const double ps[] = {50.0};
+  EXPECT_THROW(quantiles({nan}, ps), std::invalid_argument);
+}
+
+TEST(Quantiles, InfinitySamplesMatchPercentile) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> values{3.0, -inf, 1.0, inf, 2.0, inf};
+  const double ps[] = {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0};
+  const auto q = quantiles(values, ps);
+  ASSERT_EQ(q.size(), std::size(ps));
+  for (std::size_t i = 0; i < std::size(ps); ++i) {
+    EXPECT_FALSE(std::isnan(q[i])) << "p=" << ps[i];
+    EXPECT_DOUBLE_EQ(q[i], percentile(values, ps[i])) << "p=" << ps[i];
+  }
+}
+
 TEST(Jaccard, IdenticalSetsAreOne) {
   std::unordered_set<std::uint64_t> a{1, 2, 3};
   EXPECT_DOUBLE_EQ(jaccard_similarity(a, a), 1.0);

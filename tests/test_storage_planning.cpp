@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "workload/catalog.h"
+
 namespace socl::core {
 namespace {
 
@@ -12,6 +14,31 @@ ScenarioConfig base_config(int nodes = 6, int users = 25) {
   config.num_nodes = nodes;
   config.num_users = users;
   return config;
+}
+
+/// Hand-built substrate over the tiny catalog (φ = {1.0, 2.0, 1.5}):
+/// nodes get the given storage capacities, consecutive nodes are linked,
+/// and one user with the given chain attaches to node 0.
+Scenario hand_scenario(const std::vector<double>& storage,
+                       std::vector<workload::MsId> chain) {
+  net::EdgeNetwork network;
+  for (const double units : storage) {
+    net::EdgeNode node;
+    node.compute_gflops = 10.0;
+    node.storage_units = units;
+    network.add_node(node);
+  }
+  for (net::NodeId k = 0; k + 1 < static_cast<net::NodeId>(storage.size());
+       ++k) {
+    network.add_link_with_rate(k, k + 1, 50.0);
+  }
+  workload::UserRequest request;
+  request.id = 0;
+  request.attach_node = 0;
+  request.chain = std::move(chain);
+  request.edge_data.assign(request.chain.size() - 1, 1.0);
+  return Scenario(std::move(network), workload::tiny_catalog(), {request},
+                  ProblemConstants{});
 }
 
 TEST(OrderFactor, WeightsFirstHigherThanLast) {
@@ -40,6 +67,55 @@ TEST(OrderFactor, ZeroWithoutLocalUsers) {
       }
     }
   }
+}
+
+TEST(OrderFactor, CountsEveryOccurrenceInRepeatedChains) {
+  // Chain [m0, m1, m0]: m0 is both the head (weight 3) and the tail
+  // (weight 2) of the same request, m1 is interior (weight 1).
+  // position_of() only sees the first occurrence, which used to score m0
+  // as a pure head: (3·1)/1 = 3 instead of (3 + 2)/2 = 2.5.
+  const auto scenario = hand_scenario({8.0, 8.0}, {0, 1, 0});
+  EXPECT_DOUBLE_EQ(order_factor(scenario, 0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(order_factor(scenario, 1, 0), 1.0);
+  // No users attach to node 1.
+  EXPECT_DOUBLE_EQ(order_factor(scenario, 0, 1), 0.0);
+}
+
+TEST(StoragePlan, StuckEvictionReportsInfeasible) {
+  // Aggregate capacity suffices (3 + 10 >= 2 * 4.5 is false — use 12):
+  // node 0 (capacity 3) is overloaded, but every instance it could evict
+  // already exists on node 1, so no migration target accepts anything and
+  // the eviction loop must give up rather than spin or crash.
+  const auto scenario = hand_scenario({3.0, 12.0}, {0, 1, 2});
+  Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    placement.deploy(m, 0);  // 4.5 units on a 3-unit node
+    placement.deploy(m, 1);
+  }
+  const Placement before = placement;
+  const auto result = plan_storage(scenario, placement);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.migrations.empty());
+  EXPECT_EQ(placement, before);  // a stuck plan must not half-migrate
+  EXPECT_FALSE(placement.storage_feasible(scenario));
+}
+
+TEST(StoragePlan, MigratesOntoEarlierIndexedNode) {
+  // The overloaded node is the LAST one; relief targets have smaller ids.
+  // Exercises the target loop's id-agnostic ordering (by channel rate).
+  const auto scenario = hand_scenario({12.0, 12.0, 3.0}, {0, 1, 2});
+  Placement placement(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    placement.deploy(m, 2);  // 4.5 units on the 3-unit node
+  }
+  const auto result = plan_storage(scenario, placement);
+  EXPECT_TRUE(result.feasible);
+  ASSERT_FALSE(result.migrations.empty());
+  for (const auto& migration : result.migrations) {
+    EXPECT_EQ(migration.from, 2);
+    EXPECT_LT(migration.to, 2);
+  }
+  EXPECT_TRUE(placement.storage_feasible(scenario));
 }
 
 TEST(StoragePlan, FeasiblePlacementIsUntouched) {

@@ -1,0 +1,273 @@
+// Tests for the independent constraint validator (DESIGN.md §4f): every
+// checked equation must fire on a deliberately corrupted solution, and a
+// clean pipeline solution must validate with zero violations while the
+// recomputed quantities agree with the Evaluator.
+#include "validate/validator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "obs/sink.h"
+#include "workload/catalog.h"
+
+namespace socl::validate {
+namespace {
+
+core::ScenarioConfig small_config() {
+  core::ScenarioConfig config;
+  config.num_nodes = 4;
+  config.num_users = 6;
+  config.use_tiny_catalog = true;
+  config.constants.budget = 3000.0;
+  return config;
+}
+
+core::Placement everywhere(const core::Scenario& scenario) {
+  core::Placement placement(scenario);
+  for (core::MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (core::NodeId k = 0; k < scenario.num_nodes(); ++k) {
+      placement.deploy(m, k);
+    }
+  }
+  return placement;
+}
+
+/// Two isolated nodes; the single user attaches to node 0 but the only
+/// instance lives on node 1, so every hop crosses the component gap.
+core::Scenario disconnected_scenario() {
+  net::EdgeNetwork network;
+  for (int k = 0; k < 2; ++k) {
+    net::EdgeNode node;
+    node.compute_gflops = 10.0;
+    node.storage_units = 10.0;
+    network.add_node(node);
+  }
+  workload::UserRequest request;
+  request.id = 0;
+  request.attach_node = 0;
+  request.chain = {0};
+  request.deadline = 100.0;
+  return core::Scenario(std::move(network), workload::tiny_catalog(),
+                        {request}, core::ProblemConstants{});
+}
+
+TEST(Validator, PipelineSolutionIsClean) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto scenario = core::make_scenario(small_config(), seed);
+    const auto solution = core::SoCL().solve(scenario);
+    ASSERT_TRUE(solution.assignment.has_value()) << "seed " << seed;
+    ASSERT_TRUE(solution.evaluation.routable) << "seed " << seed;
+
+    const SolutionValidator validator(scenario);
+    const Report report =
+        validator.validate(solution.placement, *solution.assignment);
+    EXPECT_EQ(report.count(Constraint::kAssignment), 0) << "seed " << seed;
+    EXPECT_EQ(report.count(Constraint::kDeployment), 0) << "seed " << seed;
+    EXPECT_EQ(report.count(Constraint::kBinarity), 0) << "seed " << seed;
+    EXPECT_EQ(report.count(Constraint::kDeadline),
+              solution.evaluation.deadline_violations)
+        << "seed " << seed;
+    EXPECT_EQ(report.count(Constraint::kBudget) == 0,
+              solution.evaluation.within_budget)
+        << "seed " << seed;
+    EXPECT_EQ(report.count(Constraint::kStorage) == 0,
+              solution.evaluation.storage_ok)
+        << "seed " << seed;
+    EXPECT_NEAR(report.total_latency, solution.evaluation.total_latency,
+                1e-9 * (1.0 + std::abs(solution.evaluation.total_latency)));
+    EXPECT_NEAR(report.objective, solution.evaluation.objective,
+                1e-9 * (1.0 + std::abs(solution.evaluation.objective)));
+    EXPECT_EQ(report.users_checked, scenario.num_users());
+  }
+}
+
+TEST(Validator, AgreesWithEvaluatorOnOptimalRoutes) {
+  const auto scenario = core::make_scenario(small_config(), 7);
+  const core::Evaluator evaluator(scenario);
+  const auto placement = everywhere(scenario);
+  const auto assignment = evaluator.router().route_all(placement);
+  ASSERT_TRUE(assignment.has_value());
+  const auto eval = evaluator.evaluate(placement, *assignment);
+
+  const SolutionValidator validator(scenario);
+  const Report report = validator.validate(placement, *assignment);
+  EXPECT_TRUE(report.count(Constraint::kDeadline) ==
+              eval.deadline_violations);
+  EXPECT_NEAR(report.total_latency, eval.total_latency, 1e-9);
+  EXPECT_NEAR(report.deployment_cost, eval.deployment_cost, 1e-9);
+  ASSERT_EQ(static_cast<int>(report.user_latency.size()),
+            scenario.num_users());
+  for (const double d : report.user_latency) EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(Validator, FlagsMissingDeployment) {
+  const auto scenario = core::make_scenario(small_config(), 8);
+  const core::Evaluator evaluator(scenario);
+  const auto placement = everywhere(scenario);
+  const auto assignment = evaluator.router().route_all(placement);
+  ASSERT_TRUE(assignment.has_value());
+
+  // Undeploy the instance serving user 0's first chain position.
+  const auto& request = scenario.request(0);
+  const core::NodeId node = assignment->node_for(0, 0);
+  core::Placement corrupted = placement;
+  corrupted.remove(request.chain.front(), node);
+
+  const SolutionValidator validator(scenario);
+  const Report report = validator.validate(corrupted, *assignment);
+  EXPECT_GE(report.count(Constraint::kDeployment), 1);
+  EXPECT_FALSE(report.ok());
+  bool described = false;
+  for (const auto& violation : report.violations) {
+    if (violation.constraint != Constraint::kDeployment) continue;
+    EXPECT_NE(violation.describe().find("eq10.deployment"),
+              std::string::npos);
+    EXPECT_LT(violation.slack(), 0.0);
+    described = true;
+  }
+  EXPECT_TRUE(described);
+  // The validator leaves D_h undefined for structurally broken users.
+  EXPECT_TRUE(std::isinf(report.total_latency));
+}
+
+TEST(Validator, FlagsUnassignedPosition) {
+  const auto scenario = core::make_scenario(small_config(), 9);
+  const core::Evaluator evaluator(scenario);
+  const auto placement = everywhere(scenario);
+  auto assignment = evaluator.router().route_all(placement);
+  ASSERT_TRUE(assignment.has_value());
+  assignment->set(0, 0, net::kInvalidNode);
+
+  const SolutionValidator validator(scenario);
+  const Report report = validator.validate(placement, *assignment);
+  ASSERT_GE(report.count(Constraint::kAssignment), 1);
+  for (const auto& violation : report.violations) {
+    if (violation.constraint != Constraint::kAssignment) continue;
+    EXPECT_EQ(violation.user, 0);
+    EXPECT_EQ(violation.position, 0);
+    EXPECT_EQ(violation.lhs, 0.0);  // Σ_k y(h,pos,k) == 0, needs 1
+    EXPECT_EQ(violation.rhs, 1.0);
+  }
+}
+
+TEST(Validator, FlagsOutOfRangeNodeAsBinarity) {
+  const auto scenario = core::make_scenario(small_config(), 10);
+  const core::Evaluator evaluator(scenario);
+  const auto placement = everywhere(scenario);
+  auto assignment = evaluator.router().route_all(placement);
+  ASSERT_TRUE(assignment.has_value());
+  assignment->set(0, 0, static_cast<core::NodeId>(99));
+
+  const SolutionValidator validator(scenario);
+  const Report report = validator.validate(placement, *assignment);
+  EXPECT_GE(report.count(Constraint::kBinarity), 1);
+}
+
+TEST(Validator, FlagsBudgetViolation) {
+  auto config = small_config();
+  config.constants.budget = 10.0;  // unsatisfiable
+  const auto scenario = core::make_scenario(config, 11);
+  const SolutionValidator validator(scenario);
+  const Report report = validator.validate_placement(everywhere(scenario));
+  ASSERT_EQ(report.count(Constraint::kBudget), 1);
+  for (const auto& violation : report.violations) {
+    if (violation.constraint != Constraint::kBudget) continue;
+    EXPECT_DOUBLE_EQ(violation.rhs, 10.0);
+    EXPECT_GT(violation.lhs, 10.0);
+    EXPECT_LT(violation.slack(), 0.0);
+  }
+}
+
+TEST(Validator, FlagsStorageViolation) {
+  auto config = small_config();
+  config.topology.storage_min_units = 0.5;  // below any tiny-catalog φ sum
+  config.topology.storage_max_units = 0.6;
+  const auto scenario = core::make_scenario(config, 12);
+  const SolutionValidator validator(scenario);
+  const Report report = validator.validate_placement(everywhere(scenario));
+  EXPECT_GE(report.count(Constraint::kStorage), 1);
+  for (const auto& violation : report.violations) {
+    if (violation.constraint != Constraint::kStorage) continue;
+    EXPECT_NE(violation.node, net::kInvalidNode);
+    EXPECT_GT(violation.lhs, violation.rhs);
+  }
+}
+
+TEST(Validator, UnreachableHopViolatesDeadline) {
+  const auto scenario = disconnected_scenario();
+  core::Placement placement(scenario);
+  placement.deploy(0, 1);  // only instance is across the gap
+  core::Assignment assignment(scenario);
+  assignment.set(0, 0, 1);
+
+  const SolutionValidator validator(scenario);
+  EXPECT_TRUE(std::isinf(validator.completion_time(
+      scenario.request(0), assignment.user_route(0))));
+  const Report report = validator.validate(placement, assignment);
+  EXPECT_EQ(report.count(Constraint::kDeadline), 1);
+  EXPECT_TRUE(std::isinf(report.total_latency));
+}
+
+TEST(Validator, ConstraintNamesAreStable) {
+  EXPECT_STREQ(constraint_name(Constraint::kDeadline), "eq4.deadline");
+  EXPECT_STREQ(constraint_name(Constraint::kBudget), "eq5.budget");
+  EXPECT_STREQ(constraint_name(Constraint::kStorage), "eq6.storage");
+  EXPECT_STREQ(constraint_name(Constraint::kAssignment), "eq9.assignment");
+  EXPECT_STREQ(constraint_name(Constraint::kDeployment), "eq10.deployment");
+  EXPECT_STREQ(constraint_name(Constraint::kBinarity), "eq11.binarity");
+}
+
+TEST(Validator, ReportSummaryListsViolations) {
+  auto config = small_config();
+  config.constants.budget = 10.0;
+  const auto scenario = core::make_scenario(config, 13);
+  const SolutionValidator validator(scenario);
+  const Report report = validator.validate_placement(everywhere(scenario));
+  const std::string text = report.summary();
+  EXPECT_NE(text.find("eq5.budget"), std::string::npos);
+  EXPECT_NE(text.find("violation"), std::string::npos);
+}
+
+struct RecordingSink : obs::ObsSink {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> observations;
+
+  void record_span(obs::Phase, const char*, double, double) override {}
+  void add_counter(const char* name, std::int64_t delta) override {
+    counters[name] += delta;
+  }
+  void set_gauge(const char*, double) override {}
+  void observe(const char* name, double value) override {
+    observations[name] = value;
+  }
+  double now_us() const override { return 0.0; }
+};
+
+TEST(Validator, InstallValidationEmitsCounters) {
+  const auto scenario = core::make_scenario(small_config(), 14);
+  RecordingSink sink;
+  core::SoCLParams params;
+  params.sink = &sink;
+  install_validation(params, /*log_violations=*/false);
+  const auto solution = core::SoCL(params).solve(scenario);
+  ASSERT_TRUE(solution.evaluation.routable);
+
+  EXPECT_EQ(sink.counters["socl.validate.runs"], 1);
+  EXPECT_EQ(sink.counters["socl.validate.users_checked"],
+            scenario.num_users());
+  EXPECT_EQ(sink.counters["socl.validate.violations"], 0);
+  ASSERT_TRUE(sink.observations.contains("socl.validate.latency_err_s"));
+  EXPECT_LE(sink.observations["socl.validate.latency_err_s"], 1e-9);
+}
+
+TEST(Validator, HookIsOptIn) {
+  // Default params carry no hook: solve must not pay for validation.
+  const core::SoCLParams params;
+  EXPECT_FALSE(static_cast<bool>(params.post_solve_hook));
+}
+
+}  // namespace
+}  // namespace socl::validate
