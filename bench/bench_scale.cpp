@@ -1,0 +1,152 @@
+// bench_scale — request-class aggregation at population scale
+// (DESIGN.md §4g, EXPERIMENTS.md "Scale sweep").
+//
+// Sweeps synthetic populations built by replicating a fixed template
+// workload (replicate_requests), so the class count stays bounded while the
+// user count grows 10k → 1M. At every point the full SoCL pipeline runs
+// twice — once with request-class aggregation (the default) and once on the
+// per-user path — and the table reports:
+//
+//   * classes / compression ratio (the socl.scale.* gauges),
+//   * wall time per mode and the aggregated-over-per-user speedup,
+//   * whether the two objectives are bit-identical (they must be: both
+//     modes totalise class-major, so any difference is a bug).
+//
+// Relocation polish and multi-start are disabled for BOTH modes so the
+// head-to-head compares one descent against one descent. `--check` turns
+// the invariants into a nonzero exit status for CI:
+//   * objectives bit-identical at every sweep point,
+//   * compression >= 100x at 100k users on the default eshop catalog,
+//   * (full mode only) aggregated solve >= 50x faster at the largest point.
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/socl.h"
+#include "obs/recorder.h"
+#include "util/timer.h"
+#include "workload/request_classes.h"
+
+namespace {
+
+using namespace socl;
+
+struct SweepRow {
+  int users = 0;
+  int classes = 0;
+  double compression = 0.0;
+  double aggregated_s = 0.0;
+  double per_user_s = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+core::SoCLParams head_to_head_params(bool aggregate, obs::ObsSink* sink) {
+  core::SoCLParams params;
+  params.sink = sink;
+  params.combination.aggregate_requests = aggregate;
+  params.combination.use_relocation = false;
+  params.combination.use_multi_start = false;
+  return params;
+}
+
+SweepRow run_point(int nodes, int num_users, int template_users) {
+  auto scenario =
+      core::make_scenario(bench::paper_config(nodes, template_users),
+                          /*seed=*/11);
+  scenario.set_requests(workload::replicate_requests(scenario.requests(),
+                                                     num_users));
+  SweepRow row;
+  row.users = scenario.num_users();
+  row.classes = scenario.classes().num_classes();
+  row.compression = scenario.classes().compression_ratio();
+
+  obs::Recorder recorder;
+  util::WallTimer timer;
+  const core::Solution aggregated =
+      core::SoCL(head_to_head_params(true, &recorder)).solve(scenario);
+  row.aggregated_s = timer.elapsed_seconds();
+  timer.reset();
+  const core::Solution per_user =
+      core::SoCL(head_to_head_params(false, nullptr)).solve(scenario);
+  row.per_user_s = timer.elapsed_seconds();
+  row.speedup = row.aggregated_s > 0.0 ? row.per_user_s / row.aggregated_s
+                                       : 0.0;
+  row.identical =
+      aggregated.evaluation.objective == per_user.evaluation.objective &&
+      aggregated.evaluation.total_latency ==
+          per_user.evaluation.total_latency &&
+      aggregated.placement == per_user.placement;
+
+  // The socl.scale.* gauges must mirror what the scenario reports.
+  const auto snapshot = recorder.metrics().snapshot();
+  const auto* gauge = snapshot.find("socl.scale.compression");
+  if (gauge == nullptr || gauge->gauge != row.compression) {
+    std::cout << "WARNING: socl.scale.compression gauge missing or stale\n";
+    row.identical = false;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  bench::banner("bench_scale",
+                "request-class aggregation: 10k -> 1M users at bounded class "
+                "counts, aggregated vs per-user head-to-head");
+
+  const bool tiny = bench::tiny_mode();
+  const int nodes = tiny ? 8 : 12;
+  // Template users per point: population / 200, capped at 5000 classes.
+  const std::vector<int> sweep =
+      tiny ? std::vector<int>{2'000, 10'000}
+           : std::vector<int>{10'000, 100'000, 1'000'000};
+
+  util::Table table({"users", "classes", "compression", "aggregated_s",
+                     "per_user_s", "speedup", "objectives"});
+  bool all_identical = true;
+  double last_speedup = 0.0;
+  for (const int users : sweep) {
+    const int templates = std::max(1, std::min(5'000, users / 200));
+    const SweepRow row = run_point(nodes, users, templates);
+    all_identical = all_identical && row.identical;
+    last_speedup = row.speedup;
+    table.row()
+        .cell(std::to_string(row.users))
+        .cell(std::to_string(row.classes))
+        .num(row.compression, 1)
+        .num(row.aggregated_s, 3)
+        .num(row.per_user_s, 3)
+        .num(row.speedup, 1)
+        .cell(row.identical ? "bit-identical" : "DIVERGED");
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "scale_sweep");
+
+  // Compression floor on the paper's default workload: 100k generated-then-
+  // replicated users over 500 templates must compress >= 100x. Aggregation
+  // only (no solve), so this runs even in tiny mode.
+  auto floor_scenario =
+      core::make_scenario(bench::paper_config(nodes, 500), /*seed=*/23);
+  floor_scenario.set_requests(
+      workload::replicate_requests(floor_scenario.requests(), 100'000));
+  const double floor_ratio = floor_scenario.classes().compression_ratio();
+
+  const bool compression_ok = floor_ratio >= 100.0;
+  const bool speedup_ok = tiny || last_speedup >= 50.0;
+  std::cout << "\ncompression at 100k users / 500 templates: " << floor_ratio
+            << "x (floor 100x) " << (compression_ok ? "PASS" : "FAIL")
+            << "\nobjectives aggregated vs per-user: "
+            << (all_identical ? "bit-identical PASS" : "DIVERGED FAIL")
+            << "\nspeedup at largest point: " << last_speedup << "x "
+            << (tiny ? "(tiny mode, 50x floor not enforced)"
+                     : speedup_ok ? "(>=50x) PASS"
+                                  : "(<50x) FAIL")
+            << '\n';
+  if (check && !(compression_ok && all_identical && speedup_ok)) return 1;
+  return 0;
+}

@@ -23,7 +23,8 @@ Combiner::Combiner(const Scenario& scenario, const Partitioning& partitioning,
       partitioning_(&partitioning),
       config_(config),
       evaluator_(scenario),
-      engine_(scenario, config.threads, config.use_parallel_scoring) {
+      engine_(scenario, config.threads, config.use_parallel_scoring,
+              config.aggregate_requests) {
   engine_.set_sink(config_.sink);
   const auto services = static_cast<std::size_t>(scenario.num_microservices());
   const auto nodes = static_cast<std::size_t>(scenario.num_nodes());
@@ -39,7 +40,10 @@ Combiner::Combiner(const Scenario& scenario, const Partitioning& partitioning,
   }
 
   dependency_adjacent_.assign(services, std::vector<bool>(services, false));
-  for (const auto& request : scenario.requests()) {
+  // Chain adjacency is a pure function of the class key, so one
+  // representative per request class covers the whole workload.
+  for (const auto& cls : scenario.classes().classes()) {
+    const auto& request = scenario.request(cls.representative);
     for (std::size_t pos = 1; pos < request.chain.size(); ++pos) {
       const auto a = static_cast<std::size_t>(request.chain[pos - 1]);
       const auto b = static_cast<std::size_t>(request.chain[pos]);
@@ -122,8 +126,20 @@ double Combiner::estimated_completion(const workload::UserRequest& request,
 
 double Combiner::estimated_objective(const Placement& placement) const {
   double latency = 0.0;
-  for (const auto& request : scenario_->requests()) {
-    latency += estimated_completion(request, placement);
+  for (const auto& cls : scenario_->classes().classes()) {
+    const auto& request = scenario_->request(cls.representative);
+    const double d = estimated_completion(request, placement);
+    if (!config_.aggregate_requests) {
+      // Per-user baseline: recompute the estimate for every member. The
+      // volatile store keeps the duplicate work from being folded away; the
+      // representative's value is what enters the total either way, so the
+      // two modes stay bit-identical.
+      for (std::size_t j = 1; j < cls.members.size(); ++j) {
+        volatile double echo = estimated_completion(request, placement);
+        static_cast<void>(echo);
+      }
+    }
+    latency += cls.weight * d;
   }
   return evaluator_.combine(placement.deployment_cost(scenario_->catalog()),
                             latency);
@@ -136,11 +152,21 @@ double Combiner::psi_for_instance(MsId m, NodeId k,
   const double compute = scenario_->catalog().microservice(m).compute_gflop /
                          scenario_->network().node(k).compute_gflops;
   double total = 0.0;
-  for (const auto& request : scenario_->requests()) {
+  for (const auto& cls : scenario_->classes().classes()) {
+    const auto& request = scenario_->request(cls.representative);
     if (!request.uses(m)) continue;
+    if (!config_.aggregate_requests) {
+      // Per-user baseline: every member re-runs the connection scan (the
+      // dominant per-user cost of the ψ pass).
+      for (std::size_t j = 1; j < cls.members.size(); ++j) {
+        volatile NodeId echo = best_connection(request.id, m, placement);
+        static_cast<void>(echo);
+      }
+    }
     if (best_connection(request.id, m, placement) != k) continue;
     const double data = scenario_->request_inbound_data(request, m);
-    total += vlinks.transfer_time(data, request.attach_node, k) + compute;
+    total += cls.weight *
+             (vlinks.transfer_time(data, request.attach_node, k) + compute);
   }
   return total;
 }
@@ -160,16 +186,31 @@ double Combiner::zeta_for_instance(MsId m, NodeId k,
 
   double before = 0.0;
   double after = 0.0;
-  for (const auto& request : scenario_->requests()) {
+  for (const auto& cls : scenario_->classes().classes()) {
+    const auto& request = scenario_->request(cls.representative);
     if (!request.uses(m)) continue;
+    if (!config_.aggregate_requests) {
+      for (std::size_t j = 1; j < cls.members.size(); ++j) {
+        volatile NodeId echo = best_connection(request.id, m, placement);
+        static_cast<void>(echo);
+      }
+    }
     if (best_connection(request.id, m, placement) != k) continue;
+    if (!config_.aggregate_requests) {
+      for (std::size_t j = 1; j < cls.members.size(); ++j) {
+        volatile NodeId echo = best_connection(request.id, m, without);
+        static_cast<void>(echo);
+      }
+    }
     const double data = scenario_->request_inbound_data(request, m);
-    before += vlinks.transfer_time(data, request.attach_node, k) + compute_k;
+    before += cls.weight * (vlinks.transfer_time(data, request.attach_node, k) +
+                            compute_k);
     const NodeId q = best_connection(request.id, m, without);
     if (q == net::kInvalidNode) return kInf;  // would orphan the user
-    after += vlinks.transfer_time(data, request.attach_node, q) +
-             scenario_->catalog().microservice(m).compute_gflop /
-                 network.node(q).compute_gflops;
+    after += cls.weight *
+             (vlinks.transfer_time(data, request.attach_node, q) +
+              scenario_->catalog().microservice(m).compute_gflop /
+                  network.node(q).compute_gflops);
   }
   return after - before;
 }
@@ -214,33 +255,52 @@ std::vector<LatencyLoss> Combiner::latency_losses(
 }
 
 bool Combiner::violates_deadline(const Placement& placement) const {
+  // Members of a request class share chain, demand, and deadline, so the
+  // representative's verdict covers the whole class in both modes.
   if (use_exact_eval()) {
     const ChainRouter& router = evaluator_.router();
     RouteScratch scratch;
-    for (const auto& request : scenario_->requests()) {
+    for (const auto& cls : scenario_->classes().classes()) {
+      const auto& request = scenario_->request(cls.representative);
       // route_cost is +inf for unroutable users, which trips the deadline.
-      if (router.route_cost(request, placement, scratch) >
-          request.deadline + 1e-9) {
-        return true;
+      const double d = router.route_cost(request, placement, scratch);
+      if (!config_.aggregate_requests) {
+        for (std::size_t j = 1; j < cls.members.size(); ++j) {
+          volatile double echo = router.route_cost(request, placement, scratch);
+          static_cast<void>(echo);
+        }
       }
+      if (d > request.deadline + 1e-9) return true;
     }
     return false;
   }
-  for (const auto& request : scenario_->requests()) {
-    if (estimated_completion(request, placement) >
-        request.deadline + 1e-9) {
-      return true;
+  for (const auto& cls : scenario_->classes().classes()) {
+    const auto& request = scenario_->request(cls.representative);
+    const double d = estimated_completion(request, placement);
+    if (!config_.aggregate_requests) {
+      for (std::size_t j = 1; j < cls.members.size(); ++j) {
+        volatile double echo = estimated_completion(request, placement);
+        static_cast<void>(echo);
+      }
     }
+    if (d > request.deadline + 1e-9) return true;
   }
   return false;
 }
 
 bool Combiner::use_exact_eval() const {
-  // Exact per-move routing costs ~U·V³·len̄ operations per evaluation; keep
-  // it while that stays comfortably inside interactive budgets.
-  const double users = static_cast<double>(scenario_->num_users());
+  // Exact per-move routing costs ~C·V³·len̄ DP operations per evaluation
+  // (the per-user path additionally pays its O(U) member echo inside the
+  // same regime); keep it while that stays comfortably inside interactive
+  // budgets. The regime keys on the class count in BOTH modes so aggregated
+  // and per-user runs always take the same branch — a prerequisite for
+  // bit-identical objectives (DESIGN.md §4g). With aggregation the DP count
+  // scales with classes, not users — which is how million-user workloads at
+  // a few thousand classes keep exact scoring.
+  const double classes =
+      static_cast<double>(scenario_->classes().num_classes());
   const double nodes = static_cast<double>(scenario_->num_nodes());
-  return users * nodes * nodes * nodes * 5.0 <= 5e7;
+  return classes * nodes * nodes * nodes * 5.0 <= 5e7;
 }
 
 double Combiner::serial_objective(const Placement& placement) const {

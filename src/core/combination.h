@@ -51,6 +51,13 @@ struct CombinationConfig {
   /// route cache, so disabling this changes wall time, never results (the
   /// determinism test in test_routing_engine enforces it).
   bool use_parallel_scoring = true;
+  /// Request-class aggregation (DESIGN.md §4g): score one representative
+  /// per class and fold weight · value into every total, turning O(users)
+  /// inner loops into O(classes). false routes/estimates every member
+  /// individually — the measured per-user baseline of bench_scale. Both
+  /// modes totalise class-major, so objectives are bit-identical (enforced
+  /// by the differential harness's aggregation lane).
+  bool aggregate_requests = true;
   bool use_parallel_stage = true;   // ablation switches
   bool use_storage_planning = true;
   bool use_rollback = true;

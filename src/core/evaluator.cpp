@@ -33,8 +33,12 @@ Evaluation Evaluator::evaluate(const Placement& placement) const {
 
   double total = 0.0;
   double worst = 0.0;
-  RouteScratch scratch;  // reused across the request loop
-  for (const auto& request : scenario_->requests()) {
+  RouteScratch scratch;  // reused across the class loop
+  // Class-major: members of a request class are indistinguishable to the
+  // router, so one representative route covers the whole class and the
+  // totals fold in weight · value — O(classes) routes instead of O(users).
+  for (const auto& cls : scenario_->classes().classes()) {
+    const auto& request = scenario_->request(cls.representative);
     auto routed = router_.route(request, placement, scratch);
     if (!routed) {
       eval.routable = false;
@@ -42,15 +46,16 @@ Evaluation Evaluator::evaluate(const Placement& placement) const {
       return eval;
     }
     const double d = routed->total();
-    total += d;
+    total += cls.weight * d;
     worst = std::max(worst, d);
-    if (d > request.deadline + 1e-9) ++eval.deadline_violations;
+    if (d > request.deadline + 1e-9) eval.deadline_violations += cls.size();
+    eval.evaluated_weight += cls.weight;
   }
   eval.routable = true;
   eval.total_latency = total;
   eval.max_latency = worst;
   eval.mean_latency =
-      scenario_->num_users() ? total / scenario_->num_users() : 0.0;
+      eval.evaluated_weight > 0.0 ? total / eval.evaluated_weight : 0.0;
   eval.objective = combine(eval.deployment_cost, total);
   return eval;
 }
@@ -69,26 +74,58 @@ Evaluation Evaluator::evaluate(const Placement& placement,
   }
   double total = 0.0;
   double worst = 0.0;
-  for (const auto& request : scenario_->requests()) {
-    const double d =
-        router_.completion_time(request, assignment.user_route(request.id));
-    if (!std::isfinite(d)) {
-      // A hop crosses a disconnected component (or the route is otherwise
-      // unservable): mirror the routed overload instead of letting +inf
-      // leak into total/mean_latency with routable still true.
-      eval.routable = false;
-      eval.objective = std::numeric_limits<double>::infinity();
-      return eval;
+  // An assignment may route members of one request class differently (it is
+  // the solver's choice, not a pure function of the class key), so the class
+  // collapse only applies when all member routes agree; otherwise fall back
+  // to per-member completion times within the class.
+  for (const auto& cls : scenario_->classes().classes()) {
+    const auto& request = scenario_->request(cls.representative);
+    const auto& rep_route = assignment.user_route(cls.representative);
+    bool uniform = true;
+    for (int member : cls.members) {
+      if (member != cls.representative &&
+          assignment.user_route(member) != rep_route) {
+        uniform = false;
+        break;
+      }
     }
-    total += d;
-    worst = std::max(worst, d);
-    if (d > request.deadline + 1e-9) ++eval.deadline_violations;
+    if (uniform) {
+      const double d = router_.completion_time(request, rep_route);
+      if (!std::isfinite(d)) {
+        // A hop crosses a disconnected component (or the route is otherwise
+        // unservable): mirror the routed overload instead of letting +inf
+        // leak into total/mean_latency with routable still true.
+        eval.routable = false;
+        eval.objective = std::numeric_limits<double>::infinity();
+        return eval;
+      }
+      total += cls.weight * d;
+      worst = std::max(worst, d);
+      if (d > request.deadline + 1e-9) {
+        eval.deadline_violations += cls.size();
+      }
+      eval.evaluated_weight += cls.weight;
+      continue;
+    }
+    for (int member : cls.members) {
+      const double d =
+          router_.completion_time(request, assignment.user_route(member));
+      if (!std::isfinite(d)) {
+        eval.routable = false;
+        eval.objective = std::numeric_limits<double>::infinity();
+        return eval;
+      }
+      total += d;
+      worst = std::max(worst, d);
+      if (d > request.deadline + 1e-9) ++eval.deadline_violations;
+      eval.evaluated_weight += 1.0;
+    }
   }
   eval.routable = true;
   eval.total_latency = total;
   eval.max_latency = worst;
   eval.mean_latency =
-      scenario_->num_users() ? total / scenario_->num_users() : 0.0;
+      eval.evaluated_weight > 0.0 ? total / eval.evaluated_weight : 0.0;
   eval.objective = combine(eval.deployment_cost, total);
   return eval;
 }

@@ -21,6 +21,11 @@ struct Evaluation {
   bool storage_ok = false;      ///< Eq. (6)
   double max_latency = 0;       ///< worst D_h
   double mean_latency = 0;
+  /// Summed request-class weight of the users actually folded into the
+  /// latency aggregates. mean_latency divides by this — not by raw
+  /// num_users() — so the mean stays correct when evaluation stops early or
+  /// a caller scores a subset of the workload.
+  double evaluated_weight = 0;
 
   bool feasible() const {
     return routable && deadline_violations == 0 && within_budget && storage_ok;

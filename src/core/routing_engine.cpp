@@ -24,24 +24,46 @@ void RoutingCounters::merge(const RoutingCounters& other) {
 }
 
 RoutingEngine::RoutingEngine(const Scenario& scenario, int threads,
-                             bool parallel)
+                             bool parallel, bool aggregate)
     : scenario_(&scenario),
       router_(scenario),
       threads_(threads),
-      parallel_(parallel) {
-  users_of_.assign(static_cast<std::size_t>(scenario.num_microservices()),
-                   {});
-  for (const auto& request : scenario.requests()) {
+      parallel_(parallel),
+      aggregate_(aggregate) {
+  rebuild_class_index();
+  scratches_.resize(1);  // serial-path scratch; grows with the pool
+}
+
+void RoutingEngine::rebuild_class_index() {
+  classes_of_.assign(static_cast<std::size_t>(scenario_->num_microservices()),
+                     {});
+  const auto& classes = scenario_->classes().classes();
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const auto& request = scenario_->request(classes[c].representative);
     for (const MsId m : request.chain) {
-      auto& users = users_of_[static_cast<std::size_t>(m)];
-      // Requests are visited in id order, so a repeated microservice in one
-      // chain would land adjacently — dedupe against the tail.
-      if (users.empty() || users.back() != request.id) {
-        users.push_back(request.id);
+      auto& entries = classes_of_[static_cast<std::size_t>(m)];
+      // Chain positions are visited in order, so a repeated microservice in
+      // one chain would land adjacently — dedupe against the tail.
+      if (entries.empty() || entries.back() != static_cast<int>(c)) {
+        entries.push_back(static_cast<int>(c));
       }
     }
   }
-  scratches_.resize(1);  // serial-path scratch; grows with the pool
+  workload_epoch_seen_ = scenario_->workload_epoch();
+}
+
+void RoutingEngine::echo_members(const workload::RequestClass& cls,
+                                 const Placement& placement,
+                                 ScoreContext& ctx) const {
+  const auto& request = scenario_->request(cls.representative);
+  for (std::size_t j = 1; j < cls.members.size(); ++j) {
+    // The store is volatile so the duplicate DP cannot be folded away; the
+    // representative's value is what enters every total, keeping per-user
+    // and aggregated totals bit-identical while the cost stays O(users).
+    volatile double echo = router_.route_cost(request, placement, ctx.scratch);
+    static_cast<void>(echo);
+    ++ctx.counters.routes_computed;
+  }
 }
 
 util::ThreadPool& RoutingEngine::pool() {
@@ -62,22 +84,32 @@ double RoutingEngine::combine(double cost, double total_latency) const {
 void RoutingEngine::refresh(const Placement& placement) {
   const obs::ScopedSpan span(sink_, obs::Phase::kRouting, "routing.refresh");
   util::WallTimer timer;
-  cached_latency_.assign(scenario_->requests().size(), kInf);
-  cached_routes_.resize(scenario_->requests().size());
+  // A mutated workload (regenerate_chains, mobility reattach) invalidates
+  // both the class partition and the per-microservice index; re-derive them
+  // here so no caller can score against a stale view.
+  if (workload_epoch_seen_ != scenario_->workload_epoch()) {
+    rebuild_class_index();
+  }
+  const auto& classes = scenario_->classes().classes();
+  cached_latency_.assign(classes.size(), kInf);
+  cached_routes_.resize(classes.size());
   cached_latency_sum_ = 0.0;
-  RouteScratch& scratch = scratches_.front();
-  for (const auto& request : scenario_->requests()) {
-    auto route = router_.route(request, placement, scratch);
+  ScoreContext ctx{scratches_.front(), counters_};
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const auto& cls = classes[c];
+    const auto& request = scenario_->request(cls.representative);
+    auto route = router_.route(request, placement, ctx.scratch);
     ++counters_.routes_computed;
+    if (!aggregate_) echo_members(cls, placement, ctx);
     const double d = route ? route->total() : kInf;
-    cached_latency_[static_cast<std::size_t>(request.id)] = d;
-    auto& cached = cached_routes_[static_cast<std::size_t>(request.id)];
+    cached_latency_[c] = d;
+    auto& cached = cached_routes_[c];
     if (route) {
       cached = std::move(route->nodes);
     } else {
       cached.clear();
     }
-    cached_latency_sum_ += d;
+    cached_latency_sum_ += cls.weight * d;
   }
   ++epoch_;
   ++counters_.cache_refreshes;
@@ -88,16 +120,18 @@ double RoutingEngine::objective_without(MsId m, NodeId k,
                                         const Placement& trial,
                                         ScoreContext& ctx) const {
   // An unroutable cached placement scores +inf for every neighbour reachable
-  // by a removal; bail before the per-user deltas can turn inf into NaN.
+  // by a removal; bail before the per-class deltas can turn inf into NaN.
   if (!std::isfinite(cached_latency_sum_)) return kInf;
-  // Removing (m, k) can only affect users whose current optimal route sends
-  // some occurrence of m to k — everyone else's optimum is still available
-  // in the smaller feasible set. This cuts removal scans by roughly the
-  // replica count.
+  // Removing (m, k) can only affect classes whose current optimal route
+  // sends some occurrence of m to k — everyone else's optimum is still
+  // available in the smaller feasible set. This cuts removal scans by
+  // roughly the replica count.
   double latency = cached_latency_sum_;
-  for (const int h : users_of_[static_cast<std::size_t>(m)]) {
-    const auto& request = scenario_->request(h);
-    const auto& route = cached_routes_[static_cast<std::size_t>(h)];
+  for (const int c : classes_of_[static_cast<std::size_t>(m)]) {
+    const auto& cls = scenario_->classes().cls(c);
+    const auto& request = scenario_->request(cls.representative);
+    const auto& route = cached_routes_[static_cast<std::size_t>(c)];
+    const std::int64_t fold = aggregate_ ? 1 : cls.size();
     bool affected = route.empty();
     if (!affected) {
       // Scan every chain position: a chain may visit m more than once, and
@@ -110,14 +144,16 @@ double RoutingEngine::objective_without(MsId m, NodeId k,
       }
     }
     if (!affected) {
-      ++ctx.counters.reroutes_avoided;
-      ++ctx.counters.cache_hits;
+      ctx.counters.reroutes_avoided += fold;
+      ctx.counters.cache_hits += fold;
       continue;
     }
     const double rerouted = router_.route_cost(request, trial, ctx.scratch);
     ++ctx.counters.routes_computed;
+    if (!aggregate_) echo_members(cls, trial, ctx);
     if (rerouted == kInf) return kInf;
-    latency += rerouted - cached_latency_[static_cast<std::size_t>(h)];
+    latency +=
+        cls.weight * (rerouted - cached_latency_[static_cast<std::size_t>(c)]);
   }
   return combine(trial.deployment_cost(scenario_->catalog()), latency);
 }
@@ -133,12 +169,15 @@ double RoutingEngine::objective_with_change(const Placement& trial,
                                             ScoreContext& ctx) const {
   if (!std::isfinite(cached_latency_sum_)) return kInf;
   double latency = cached_latency_sum_;
-  for (const int h : users_of_[static_cast<std::size_t>(changed)]) {
-    const auto& request = scenario_->request(h);
+  for (const int c : classes_of_[static_cast<std::size_t>(changed)]) {
+    const auto& cls = scenario_->classes().cls(c);
+    const auto& request = scenario_->request(cls.representative);
     const double rerouted = router_.route_cost(request, trial, ctx.scratch);
     ++ctx.counters.routes_computed;
+    if (!aggregate_) echo_members(cls, trial, ctx);
     if (rerouted == kInf) return kInf;
-    latency += rerouted - cached_latency_[static_cast<std::size_t>(h)];
+    latency +=
+        cls.weight * (rerouted - cached_latency_[static_cast<std::size_t>(c)]);
   }
   return combine(trial.deployment_cost(scenario_->catalog()), latency);
 }
@@ -152,11 +191,13 @@ double RoutingEngine::objective_with_change(const Placement& trial,
 double RoutingEngine::full_objective(const Placement& placement,
                                      ScoreContext& ctx) const {
   double latency = 0.0;
-  for (const auto& request : scenario_->requests()) {
+  for (const auto& cls : scenario_->classes().classes()) {
+    const auto& request = scenario_->request(cls.representative);
     const double d = router_.route_cost(request, placement, ctx.scratch);
     ++ctx.counters.routes_computed;
+    if (!aggregate_) echo_members(cls, placement, ctx);
     if (d == kInf) return kInf;
-    latency += d;
+    latency += cls.weight * d;
   }
   return combine(placement.deployment_cost(scenario_->catalog()), latency);
 }
@@ -203,12 +244,29 @@ std::optional<Assignment> RoutingEngine::route_all(
   const obs::ScopedSpan span(sink_, obs::Phase::kRouting, "routing.route_all");
   Assignment assignment(*scenario_);
   RouteScratch& scratch = scratches_.front();
-  for (const auto& request : scenario_->requests()) {
+  if (!aggregate_) {
+    // Per-user baseline: one DP per member. The DP is deterministic and
+    // class members are identical requests, so this produces exactly the
+    // Assignment the expansion below would.
+    for (const auto& request : scenario_->requests()) {
+      auto routed = router_.route(request, placement, scratch);
+      ++counters_.routes_computed;
+      if (!routed) return std::nullopt;
+      for (std::size_t pos = 0; pos < routed->nodes.size(); ++pos) {
+        assignment.set(request.id, static_cast<int>(pos), routed->nodes[pos]);
+      }
+    }
+    return assignment;
+  }
+  for (const auto& cls : scenario_->classes().classes()) {
+    const auto& request = scenario_->request(cls.representative);
     auto routed = router_.route(request, placement, scratch);
     ++counters_.routes_computed;
     if (!routed) return std::nullopt;
-    for (std::size_t pos = 0; pos < routed->nodes.size(); ++pos) {
-      assignment.set(request.id, static_cast<int>(pos), routed->nodes[pos]);
+    for (const int member : cls.members) {
+      for (std::size_t pos = 0; pos < routed->nodes.size(); ++pos) {
+        assignment.set(member, static_cast<int>(pos), routed->nodes[pos]);
+      }
     }
   }
   return assignment;

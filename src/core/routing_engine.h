@@ -4,10 +4,21 @@
 // per round, and each exact score re-runs the ChainRouter DP for the users a
 // move can affect. This engine centralises everything that makes those scans
 // cheap:
-//   - a placement-epoch-keyed per-request route cache: refresh() routes every
-//     user once and stamps an epoch; candidate scoring then reroutes only the
-//     users whose chains contain the changed microservice, and for removals
-//     only the users whose cached route actually used the removed instance;
+//   - request-class aggregation (DESIGN.md §4g): users sharing (attach node,
+//     chain, demand profile) are indistinguishable to the router, so the
+//     engine routes one representative per class and folds weight · value
+//     into every total — O(classes) DP runs instead of O(users). The
+//     per-user mode (aggregate = false) runs the DP for every member and is
+//     kept for A/B measurement; both modes totalise class-major, so their
+//     objectives are bit-identical by construction (the differential
+//     harness's aggregation lane enforces this);
+//   - a placement-epoch-keyed per-class route cache: refresh() routes every
+//     class once and stamps an epoch; candidate scoring then reroutes only
+//     the classes whose chains contain the changed microservice, and for
+//     removals only the classes whose cached route actually used the removed
+//     instance. refresh() also re-derives the class index whenever the
+//     scenario's workload epoch moved (chains regenerated, users moved), so
+//     a mutated workload can never be scored against a stale index;
 //   - per-thread reusable DP scratch buffers (RouteScratch), so the
 //     steady-state scoring path performs no heap allocations;
 //   - score_candidates(): a deterministic fan-out of independent candidate
@@ -16,7 +27,7 @@
 //     bit-identical to the serial loop regardless of thread count;
 //   - RoutingCounters: routes computed, cache hits, reroutes avoided, and
 //     wall time per stage, threaded into CombinationStats and printed by
-//     bench_micro / bench_ablation so speedups are measured, not asserted.
+//     bench_micro / bench_scale so speedups are measured, not asserted.
 //
 // DESIGN.md §4c documents the cache/scoring contract; set_sink() attaches
 // the observability layer (§4e) — refresh/score/route_all emit `routing.*`
@@ -41,16 +52,19 @@ namespace socl::core {
 /// summed across workers (order-independent), so parallel runs report the
 /// same totals as serial ones.
 struct RoutingCounters {
-  /// Full chain-DP evaluations (route / route_cost runs).
+  /// Full chain-DP evaluations (route / route_cost runs). With aggregation
+  /// one run covers a whole request class; in per-user mode every member
+  /// runs its own DP, which is exactly the cost gap bench_scale measures.
   std::int64_t routes_computed = 0;
-  /// Per-user latencies served straight from the epoch cache while scoring.
+  /// Latencies served straight from the epoch cache while scoring (class
+  /// entries when aggregating, users otherwise).
   std::int64_t cache_hits = 0;
-  /// Users skipped during removal scoring because their cached route never
-  /// touched the removed instance (the cache's headline saving).
+  /// Cache entries skipped during removal scoring because their cached
+  /// route never touched the removed instance (the cache's headline saving).
   std::int64_t reroutes_avoided = 0;
   /// Candidate moves scored through score_candidates().
   std::int64_t candidates_scored = 0;
-  /// refresh() calls (one full re-route of every user each).
+  /// refresh() calls (one full re-route of the workload each).
   std::int64_t cache_refreshes = 0;
   double refresh_seconds = 0.0;  ///< wall time inside refresh()
   double score_seconds = 0.0;    ///< wall time inside score_candidates()
@@ -61,24 +75,34 @@ struct RoutingCounters {
 class RoutingEngine {
  public:
   /// `threads` sizes the shared pool (0 = hardware concurrency);
-  /// `parallel` == false forces every fan-out onto the calling thread.
+  /// `parallel` == false forces every fan-out onto the calling thread;
+  /// `aggregate` == false disables the request-class collapse and routes
+  /// every user individually (the measured per-user baseline).
   explicit RoutingEngine(const Scenario& scenario, int threads = 0,
-                         bool parallel = true);
+                         bool parallel = true, bool aggregate = true);
 
   // ---- Placement-epoch route cache ----
 
-  /// Routes every user under `placement`, replacing the cache and bumping
-  /// the epoch. Must be called before the objective_* shortcuts.
+  /// Routes every request class under `placement`, replacing the cache and
+  /// bumping the epoch; rebuilds the class index first when the scenario's
+  /// workload epoch moved. Must be called before the objective_* shortcuts.
   void refresh(const Placement& placement);
   /// Epoch of the current cache; 0 means "never refreshed".
   std::uint64_t epoch() const { return epoch_; }
+  /// Σ_c weight_c · D_c — the class-major total the objectives build on.
   double cached_latency_sum() const { return cached_latency_sum_; }
+  /// Cached completion time of one user (served from its class entry).
   double cached_latency(int user) const {
-    return cached_latency_[static_cast<std::size_t>(user)];
+    return cached_latency_[static_cast<std::size_t>(
+        scenario_->classes().class_of(user))];
   }
+  /// Cached optimal route of one user (served from its class entry).
   const std::vector<NodeId>& cached_route(int user) const {
-    return cached_routes_[static_cast<std::size_t>(user)];
+    return cached_routes_[static_cast<std::size_t>(
+        scenario_->classes().class_of(user))];
   }
+
+  bool aggregate_enabled() const { return aggregate_; }
 
   // ---- Incremental exact objectives (cache + scratch) ----
 
@@ -89,7 +113,7 @@ class RoutingEngine {
   };
 
   /// Exact objective of `trial`, assuming it equals the cached placement
-  /// minus the single instance (m, k): reroutes only users whose cached
+  /// minus the single instance (m, k): reroutes only classes whose cached
   /// route used that instance at some chain position (all positions are
   /// checked, so chains visiting m twice score correctly).
   double objective_without(MsId m, NodeId k, const Placement& trial,
@@ -102,7 +126,7 @@ class RoutingEngine {
                                ScoreContext& ctx) const;
   double objective_with_change(const Placement& trial, MsId changed);
 
-  /// From-scratch exact objective (no cache): routes every user.
+  /// From-scratch exact objective (no cache): routes every class.
   double full_objective(const Placement& placement, ScoreContext& ctx) const;
   double full_objective(const Placement& placement);
 
@@ -118,7 +142,9 @@ class RoutingEngine {
       const std::function<double(std::size_t, ScoreContext&)>& score);
 
   /// Routes every user with scratch reuse; nullopt if any user is
-  /// unroutable. Counted in the engine's counters.
+  /// unroutable. With aggregation each class representative is routed once
+  /// and the route is expanded to every member, so the returned Assignment
+  /// is identical to the per-user pass. Counted in the engine's counters.
   std::optional<Assignment> route_all(const Placement& placement);
 
   /// λ·cost + (1-λ)·w·latency — the objective combiner of Eq. (3)/(8).
@@ -133,7 +159,7 @@ class RoutingEngine {
   void reset_counters() { counters_ = {}; }
 
   /// Observability sink for the engine's entry-point spans (refresh /
-  /// score_candidates / route_all). Call-granular on purpose: the per-user
+  /// score_candidates / route_all). Call-granular on purpose: the per-class
   /// DP inner loops stay uninstrumented, so the enabled overhead on the
   /// scoring hot path is <2% (bench_obs). nullptr disables.
   void set_sink(obs::ObsSink* sink) { sink_ = sink; }
@@ -142,17 +168,29 @@ class RoutingEngine {
   const ChainRouter& router() const { return router_; }
 
  private:
+  /// Rebuilds classes_of_ from the scenario's current request classes.
+  void rebuild_class_index();
+  /// Re-runs the representative's DP for every non-representative member —
+  /// the measured cost of the per-user baseline. Results are discarded
+  /// through a volatile sink so the duplicate work cannot be elided.
+  void echo_members(const workload::RequestClass& cls,
+                    const Placement& placement, ScoreContext& ctx) const;
+
   const Scenario* scenario_;
   ChainRouter router_;
   int threads_;
   bool parallel_;
+  bool aggregate_;
   std::unique_ptr<util::ThreadPool> pool_;
 
-  /// users_of_[m]: ids of users whose chain contains m (each id once, even
-  /// when a chain visits m repeatedly).
-  std::vector<std::vector<int>> users_of_;
+  /// classes_of_[m]: indices of request classes whose chain contains m (each
+  /// class once, even when a chain visits m repeatedly). Recomputed by
+  /// refresh() whenever the scenario's workload epoch moves.
+  std::vector<std::vector<int>> classes_of_;
+  std::uint64_t workload_epoch_seen_ = 0;
 
   std::uint64_t epoch_ = 0;
+  /// Per-class cached completion time / optimal route (class index keyed).
   std::vector<double> cached_latency_;
   std::vector<std::vector<NodeId>> cached_routes_;
   double cached_latency_sum_ = 0.0;

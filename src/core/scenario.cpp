@@ -63,6 +63,8 @@ void Scenario::refresh_demand_indices() {
       demand_data_[idx] += request_inbound_data(request, m);
     }
   }
+  classes_ = workload::RequestClasses(requests_);
+  ++workload_epoch_;
 }
 
 void Scenario::set_requests(std::vector<workload::UserRequest> requests) {

@@ -19,6 +19,7 @@
 #include "net/virtual_link.h"
 #include "workload/catalog.h"
 #include "workload/microservice.h"
+#include "workload/request_classes.h"
 #include "workload/request_gen.h"
 
 namespace socl::core {
@@ -60,6 +61,15 @@ class Scenario {
   int num_nodes() const { return static_cast<int>(network_.num_nodes()); }
   int num_microservices() const { return catalog_->num_microservices(); }
   int num_users() const { return static_cast<int>(requests_.size()); }
+
+  /// Request-class aggregation of the current workload (rebuilt alongside
+  /// the demand indices — attach nodes are part of the class key).
+  const workload::RequestClasses& classes() const { return classes_; }
+
+  /// Monotone counter bumped on every workload reindex (mobility refresh or
+  /// set_requests). Consumers caching per-class state key off this to detect
+  /// a stale view of the workload.
+  std::uint64_t workload_epoch() const { return workload_epoch_; }
 
   /// U_k: ids of users attached to node k.
   const std::vector<int>& users_at(NodeId k) const {
@@ -110,6 +120,8 @@ class Scenario {
   std::vector<std::vector<NodeId>> demand_nodes_;
   std::vector<int> demand_count_;
   std::vector<double> demand_data_;
+  workload::RequestClasses classes_;
+  std::uint64_t workload_epoch_ = 0;
 };
 
 /// End-to-end scenario factory mirroring the paper's experimental setup.

@@ -87,6 +87,14 @@ Solution SoCL::solve(const Scenario& scenario) const {
     sink->add_counter("socl.routing.cache_refreshes", routing.cache_refreshes);
     sink->observe("socl.routing.refresh_s", routing.refresh_seconds);
     sink->observe("socl.routing.score_s", routing.score_seconds);
+    const auto& classes = scenario.classes();
+    sink->set_gauge("socl.scale.users",
+                    static_cast<double>(classes.num_users()));
+    sink->set_gauge("socl.scale.classes",
+                    static_cast<double>(classes.num_classes()));
+    sink->set_gauge("socl.scale.compression", classes.compression_ratio());
+    sink->set_gauge("socl.scale.aggregated",
+                    combiner.engine().aggregate_enabled() ? 1.0 : 0.0);
   }
   if (params_.post_solve_hook) {
     params_.post_solve_hook(scenario, solution, sink);

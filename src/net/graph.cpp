@@ -35,8 +35,11 @@ LinkId EdgeNetwork::add_link_with_rate(NodeId a, NodeId b, double rate_gbps) {
   if (a == b) throw std::invalid_argument("EdgeNetwork: self-loop");
   checked(a);
   checked(b);
-  if (rate_gbps <= 0.0) {
-    throw std::invalid_argument("EdgeNetwork: non-positive link rate");
+  // A zero rate is a valid (dead) link: shannon_rate_gbps legitimately
+  // degenerates to 0 for a blocked channel, and the routing layer skips
+  // zero-capacity incidences. Only negative rates are malformed.
+  if (rate_gbps < 0.0) {
+    throw std::invalid_argument("EdgeNetwork: negative link rate");
   }
   EdgeLink link;
   link.id = static_cast<LinkId>(links_.size());

@@ -68,6 +68,8 @@ class EdgeNetwork {
 
   /// Adds a link with an explicitly fixed rate (used by tests and the
   /// Kubernetes-testbed emulator where rates are measured, not modelled).
+  /// A rate of exactly 0 records a dead link — it exists but carries no
+  /// traffic and is never traversed by routing; negative rates throw.
   LinkId add_link_with_rate(NodeId a, NodeId b, double rate_gbps);
 
   std::size_t num_nodes() const { return nodes_.size(); }

@@ -31,6 +31,10 @@ ShortestPaths::ShortestPaths(const EdgeNetwork& network)
         const NodeId v = inc.neighbor;
         const double rate =
             network.link(inc.link).rate_gbps;
+        // A zero-capacity link carries no traffic: traversing it would give
+        // an inf inverse-rate sum and a 0 bottleneck, letting a dead min-hop
+        // path shadow a longer alive one and making transfer_time inf.
+        if (rate <= 0.0) continue;
         const double cand_bottleneck =
             std::min(bottleneck_[idx(source, u)], rate);
         const double cand_inv = inv_rate_[idx(source, u)] + 1.0 / rate;

@@ -12,6 +12,7 @@
 #include "solver/mip.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "workload/request_classes.h"
 
 namespace socl::validate {
 namespace {
@@ -209,6 +210,76 @@ CaseResult run_differential_case(std::uint64_t seed,
     const Report report = validator.validate_placement(socl.placement);
     if (report.count(Constraint::kBinarity) > 0) {
       fail("heuristic placement bookkeeping broken: " + report.summary());
+    }
+  }
+
+  // --- Aggregation lane (DESIGN.md §4g): replicate the workload so every
+  // request class has several members, then solve once with request-class
+  // aggregation and once on the per-user path. The two modes totalise
+  // class-major and route identical representatives, so placement,
+  // objective, assignment, and the validator's violation set must all be
+  // IDENTICAL — bit-for-bit, not within tolerance.
+  {
+    util::Rng lane_rng(seed ^ 0xa66c1a55e5ULL);
+    const int replication = static_cast<int>(lane_rng.uniform_int(2, 4));
+    auto replicated = workload::replicate_requests(
+        scenario.requests(), scenario.num_users() * replication);
+    const core::Scenario agg_scenario(scenario.network(), scenario.catalog(),
+                                      std::move(replicated),
+                                      scenario.constants());
+    if (agg_scenario.classes().num_classes() > scenario.num_users()) {
+      fail("replicated workload produced more classes than template users");
+    }
+    core::SoCLParams per_user_params;
+    per_user_params.combination.aggregate_requests = false;
+    const core::Solution by_class = core::SoCL().solve(agg_scenario);
+    const core::Solution by_user =
+        core::SoCL(per_user_params).solve(agg_scenario);
+    if (!(by_class.placement == by_user.placement)) {
+      fail("aggregated and per-user solves diverged in placement");
+    }
+    const core::Evaluation& ec = by_class.evaluation;
+    const core::Evaluation& eu = by_user.evaluation;
+    if (ec.objective != eu.objective ||
+        ec.total_latency != eu.total_latency ||
+        ec.deployment_cost != eu.deployment_cost ||
+        ec.deadline_violations != eu.deadline_violations ||
+        ec.routable != eu.routable) {
+      fail("aggregated objective " + std::to_string(ec.objective) +
+           " not bit-identical to per-user " + std::to_string(eu.objective));
+    }
+    if (by_class.assignment.has_value() != by_user.assignment.has_value()) {
+      fail("aggregated and per-user solves diverged in routability");
+    }
+    if (by_class.assignment.has_value() && by_user.assignment.has_value()) {
+      for (int h = 0; h < agg_scenario.num_users(); ++h) {
+        if (by_class.assignment->user_route(h) !=
+            by_user.assignment->user_route(h)) {
+          fail("assignment for user " + std::to_string(h) +
+               " differs between aggregated and per-user solves");
+          break;
+        }
+      }
+      const SolutionValidator agg_validator(agg_scenario);
+      const Report rc =
+          agg_validator.validate(by_class.placement, *by_class.assignment);
+      const Report ru =
+          agg_validator.validate(by_user.placement, *by_user.assignment);
+      bool same = rc.violations.size() == ru.violations.size() &&
+                  rc.total_latency == ru.total_latency &&
+                  rc.objective == ru.objective;
+      for (std::size_t i = 0; same && i < rc.violations.size(); ++i) {
+        const Violation& a = rc.violations[i];
+        const Violation& b = ru.violations[i];
+        same = a.constraint == b.constraint && a.user == b.user &&
+               a.node == b.node && a.microservice == b.microservice &&
+               a.position == b.position && a.lhs == b.lhs && a.rhs == b.rhs;
+      }
+      if (!same) {
+        fail("validator reports differ between aggregated and per-user "
+             "solves:\n  aggregated: " + rc.summary() +
+             "\n  per-user: " + ru.summary());
+      }
     }
   }
 

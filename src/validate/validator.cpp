@@ -151,9 +151,22 @@ Report SolutionValidator::validate(const core::Placement& placement,
   check_placement(placement, report);
 
   const auto& requests = scenario_->requests();
+  const auto& classes = scenario_->classes();
   const int nodes = scenario_->num_nodes();
   report.user_latency.assign(requests.size(), kInf);
+  // Request-class memo (DESIGN.md §4g): members routed identically to their
+  // representative share one Eq. (2) walk, and their latency enters the
+  // total class-major (weight · D_c, one rounding per class) — matching the
+  // evaluator's totalisation. Members the solver routed differently fall
+  // back to a fresh walk and per-user accumulation.
+  std::vector<double> class_d(
+      static_cast<std::size_t>(classes.num_classes()), kInf);
+  std::vector<double> class_uniform_weight(
+      static_cast<std::size_t>(classes.num_classes()), 0.0);
+  std::vector<bool> class_d_known(
+      static_cast<std::size_t>(classes.num_classes()), false);
   double total = 0.0;
+  bool malformed = false;
   for (const auto& request : requests) {
     ++report.users_checked;
     const auto& route = assignment.user_route(request.id);
@@ -191,12 +204,29 @@ Report SolutionValidator::validate(const core::Placement& placement,
     }
 
     if (!structurally_ok) {
-      total = kInf;  // D_h undefined for a malformed assignment
+      malformed = true;  // D_h undefined for a malformed assignment
       continue;
     }
-    const double d = completion_time(request, route);
+    const std::size_t c =
+        static_cast<std::size_t>(classes.class_of(request.id));
+    const int rep = classes.cls(static_cast<int>(c)).representative;
+    double d;
+    if (route == assignment.user_route(rep)) {
+      // The representative has the lowest id in its class, so its walk has
+      // already populated the memo by the time any other member reads it.
+      if (!class_d_known[c]) {
+        class_d[c] = completion_time(request, route);
+        class_d_known[c] = true;
+      } else {
+        ++report.latency_memo_hits;
+      }
+      d = class_d[c];
+      class_uniform_weight[c] += 1.0;
+    } else {
+      d = completion_time(request, route);
+      total += d;
+    }
     report.user_latency[static_cast<std::size_t>(request.id)] = d;
-    total += d;
     // Eq. (4): per-user completion-time tolerance. An unreachable hop
     // (d == +inf) violates every finite deadline.
     if (d > request.deadline + kTol) {
@@ -205,6 +235,12 @@ Report SolutionValidator::validate(const core::Placement& placement,
                                    -1, d, request.deadline});
     }
   }
+  for (std::size_t c = 0; c < class_d.size(); ++c) {
+    if (class_uniform_weight[c] > 0.0) {
+      total += class_uniform_weight[c] * class_d[c];
+    }
+  }
+  if (malformed) total = kInf;
   report.total_latency = total;
   const auto& constants = scenario_->constants();
   report.objective =

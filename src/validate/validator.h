@@ -73,6 +73,9 @@ struct Report {
   /// Recomputed λ·cost + (1-λ)·w·Σ D_h (Eq. 3).
   double objective = 0.0;
   int users_checked = 0;
+  /// D_h evaluations served from the request-class memo instead of a fresh
+  /// Eq. (2) walk (members routed identically to their representative).
+  int latency_memo_hits = 0;
 
   bool ok() const { return violations.empty(); }
   /// Count of violations of one constraint id.

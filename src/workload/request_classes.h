@@ -1,0 +1,97 @@
+// Request-class aggregation: the workload-side key to million-user scale.
+//
+// Eq. (2) makes a request's completion time D_h a pure function of its
+// attachment node, its chain, and its demand profile (edge data volumes,
+// upload/return payloads); the deadline D_h^max completes everything the
+// constraint system reads per user. Two users agreeing on that tuple are
+// therefore indistinguishable to every solver stage, and the per-user loops
+// of routing, scoring, evaluation, and validation can run once per
+// *equivalence class* and multiply by the class weight (DESIGN.md §4g).
+//
+// RequestClasses collapses a request vector into such weighted classes.
+// Grouping is by exact field equality (a 64-bit FNV-1a fingerprint is only a
+// bucketing accelerator — colliding fingerprints never merge distinct
+// requests), so the per-class representative routes to bit-identical results
+// with every member, which is what lets the aggregated pipeline reproduce
+// the per-user pipeline exactly (test_differential's aggregation lane).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/microservice.h"
+
+namespace socl::workload {
+
+/// One equivalence class: users sharing (attach node, chain, edge data,
+/// payloads, deadline). The representative is the lowest-id member.
+struct RequestClass {
+  /// Request id of the representative (== members.front()).
+  int representative = -1;
+  /// Class cardinality as a double: totals are formed as weight · value, so
+  /// the weighted sum is one rounding per class rather than |members|.
+  double weight = 0.0;
+  /// Member request ids, ascending. The expansion API: per-user outputs
+  /// (CSV rows, D_h audits, arrival traces) fan a class value back out.
+  std::vector<int> members;
+  /// FNV-1a fingerprint of the demand tuple (bucketing key, not identity).
+  std::uint64_t fingerprint = 0;
+
+  int size() const { return static_cast<int>(members.size()); }
+};
+
+/// 64-bit FNV-1a over everything Eq. (2) and Eq. (4) read from one request:
+/// attach node, chain, edge data bits, payload bits, deadline bits. The id
+/// is deliberately excluded — it is the one field aggregation erases.
+std::uint64_t request_fingerprint(const UserRequest& request);
+
+/// True when a and b are interchangeable to the solver stack (exact field
+/// equality on the fingerprinted tuple; ids may differ).
+bool same_request_class(const UserRequest& a, const UserRequest& b);
+
+/// The aggregation pass: collapses a request vector into weighted classes.
+/// Deterministic: classes are ordered by first appearance (ascending
+/// representative id when requests arrive in id order) and members keep the
+/// input order. Requires dense unique ids in [0, requests.size()).
+class RequestClasses {
+ public:
+  RequestClasses() = default;
+  explicit RequestClasses(const std::vector<UserRequest>& requests);
+
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+  int num_users() const { return num_users_; }
+
+  const std::vector<RequestClass>& classes() const { return classes_; }
+  const RequestClass& cls(int c) const {
+    return classes_.at(static_cast<std::size_t>(c));
+  }
+
+  /// Class index of one user (request id).
+  int class_of(int user) const {
+    return class_of_.at(static_cast<std::size_t>(user));
+  }
+
+  /// Σ class weights == number of users.
+  double total_weight() const { return static_cast<double>(num_users_); }
+
+  /// users / classes — the socl.scale.compression metric; 1.0 when empty.
+  double compression_ratio() const {
+    return classes_.empty() ? 1.0
+                            : static_cast<double>(num_users_) /
+                                  static_cast<double>(classes_.size());
+  }
+
+ private:
+  std::vector<RequestClass> classes_;
+  std::vector<int> class_of_;
+  int num_users_ = 0;
+};
+
+/// Synthetic population builder for the scale benches: replicates the given
+/// template requests round-robin up to `num_users` requests with fresh dense
+/// ids, so the resulting workload has at most `templates.size()` request
+/// classes whatever the population size.
+std::vector<UserRequest> replicate_requests(
+    const std::vector<UserRequest>& templates, int num_users);
+
+}  // namespace socl::workload

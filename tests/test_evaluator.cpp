@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "workload/catalog.h"
+#include "workload/request_classes.h"
 
 namespace socl::core {
 namespace {
@@ -150,6 +151,79 @@ TEST(EvaluatorTest, InconsistentAssignmentIsUnroutable) {
   const Assignment unset(scenario);
   const auto eval = evaluator.evaluate(placement, unset);
   EXPECT_FALSE(eval.routable);
+}
+
+// Regression: the mean-latency denominator used to be the raw num_users();
+// with class-weighted totals it must be the summed weight of what was
+// actually evaluated, or the mean silently drifts from the total.
+TEST(EvaluatorTest, MeanLatencyDividesByEvaluatedWeight) {
+  auto scenario = make_scenario(config_with(0.5, 1e9), 11);
+  const auto template_eval =
+      Evaluator(scenario).evaluate(everywhere(scenario));
+  ASSERT_TRUE(template_eval.routable);
+
+  // Replicate 12 template users to 48: 12 classes of weight 4.
+  scenario.set_requests(workload::replicate_requests(
+      scenario.requests(), 4 * scenario.num_users()));
+  const Evaluator evaluator(scenario);
+  const auto eval = evaluator.evaluate(everywhere(scenario));
+  ASSERT_TRUE(eval.routable);
+  EXPECT_DOUBLE_EQ(eval.evaluated_weight,
+                   static_cast<double>(scenario.num_users()));
+  EXPECT_DOUBLE_EQ(eval.mean_latency,
+                   eval.total_latency / eval.evaluated_weight);
+  // Uniform replication cannot move the mean (each class weight scales the
+  // numerator and denominator alike).
+  EXPECT_NEAR(eval.mean_latency, template_eval.mean_latency, 1e-12);
+  EXPECT_NEAR(eval.total_latency, 4.0 * template_eval.total_latency, 1e-9);
+}
+
+TEST(EvaluatorTest, AssignmentOverloadEvaluatedWeightCoversAllMembers) {
+  net::EdgeNetwork network;
+  for (int k = 0; k < 2; ++k) {
+    net::EdgeNode node;
+    node.compute_gflops = 10.0;
+    node.storage_units = 10.0;
+    network.add_node(node);
+  }
+  network.add_link_with_rate(0, 1, 5.0);
+  // Two indistinguishable users: one request class of weight 2.
+  std::vector<workload::UserRequest> requests(2);
+  for (int h = 0; h < 2; ++h) {
+    requests[h].id = h;
+    requests[h].attach_node = 0;
+    requests[h].chain = {0};
+  }
+  const Scenario scenario(std::move(network), workload::tiny_catalog(),
+                          std::move(requests), ProblemConstants{});
+  ASSERT_EQ(scenario.classes().num_classes(), 1);
+
+  Placement placement(scenario);
+  placement.deploy(0, 0);
+  placement.deploy(0, 1);
+  const Evaluator evaluator(scenario);
+
+  // Uniform routes: the class collapses to one walk, weight 2.
+  Assignment uniform(scenario);
+  uniform.set(0, 0, 0);
+  uniform.set(1, 0, 0);
+  const auto collapsed = evaluator.evaluate(placement, uniform);
+  ASSERT_TRUE(collapsed.routable);
+  EXPECT_DOUBLE_EQ(collapsed.evaluated_weight, 2.0);
+  EXPECT_DOUBLE_EQ(collapsed.mean_latency,
+                   collapsed.total_latency / collapsed.evaluated_weight);
+
+  // Split routes: members fall back to per-user walks but every member must
+  // still be counted in the denominator.
+  Assignment split(scenario);
+  split.set(0, 0, 0);
+  split.set(1, 0, 1);  // detour across the link
+  const auto per_member = evaluator.evaluate(placement, split);
+  ASSERT_TRUE(per_member.routable);
+  EXPECT_DOUBLE_EQ(per_member.evaluated_weight, 2.0);
+  EXPECT_DOUBLE_EQ(per_member.mean_latency,
+                   per_member.total_latency / per_member.evaluated_weight);
+  EXPECT_GT(per_member.total_latency, collapsed.total_latency);
 }
 
 TEST(EvaluatorTest, SummaryMentionsViolations) {

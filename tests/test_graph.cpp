@@ -65,12 +65,24 @@ TEST(EdgeNetwork, MissingLinkRateIsZero) {
   EXPECT_FALSE(net.has_link(0, 1));
 }
 
-TEST(EdgeNetwork, RejectsSelfLoopAndBadRate) {
+TEST(EdgeNetwork, RejectsSelfLoopAndNegativeRate) {
   auto net = two_node_net();
   EXPECT_THROW(net.add_link_with_rate(0, 0, 1.0), std::invalid_argument);
   net.add_node({});
-  EXPECT_THROW(net.add_link_with_rate(0, 2, 0.0), std::invalid_argument);
   EXPECT_THROW(net.add_link_with_rate(0, 2, -5.0), std::invalid_argument);
+}
+
+TEST(EdgeNetwork, ZeroRateLinkIsRecordedButDead) {
+  // A blocked channel (shannon_rate_gbps == 0) is a real link that carries
+  // nothing: it must be representable, and the strongest-rate query must not
+  // be fooled by it.
+  auto net = two_node_net(10.0);
+  net.add_node({});
+  const LinkId dead = net.add_link_with_rate(0, 2, 0.0);
+  EXPECT_EQ(net.num_links(), 2u);
+  EXPECT_DOUBLE_EQ(net.link(dead).rate_gbps, 0.0);
+  EXPECT_TRUE(net.has_link(0, 2));
+  EXPECT_DOUBLE_EQ(net.link_rate(0, 2), 0.0);
 }
 
 TEST(EdgeNetwork, AllowsParallelLinksAndReportsStrongestRate) {

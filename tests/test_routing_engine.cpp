@@ -154,6 +154,55 @@ TEST(RoutingEngine, FullObjectiveMatchesRefreshSum) {
   EXPECT_NEAR(engine.full_objective(fx.pre.placement), cached, 1e-9);
 }
 
+// Regression: the per-microservice user index was built once at
+// construction, so mutating the workload (set_requests, mobility
+// reattachment) left the engine scoring against chains that no longer
+// existed. refresh() must re-derive the index when the scenario's workload
+// epoch has moved — an engine that lived through the mutation has to score
+// exactly like one constructed from scratch afterwards.
+TEST(RoutingEngine, WorkloadMutationRescoresLikeFreshEngine) {
+  Fixture fx(17);
+  RoutingEngine survivor(fx.scenario);
+  survivor.refresh(fx.pre.placement);
+  const double before = survivor.cached_latency_sum();
+
+  // Swap in a regenerated workload: different chains, attach points, and
+  // demands over the same catalog and substrate.
+  const auto donor = make_scenario(small_config(), 99);
+  const auto old_epoch = fx.scenario.workload_epoch();
+  fx.scenario.set_requests(donor.requests());
+  EXPECT_GT(fx.scenario.workload_epoch(), old_epoch);
+
+  survivor.refresh(fx.pre.placement);
+  RoutingEngine fresh(fx.scenario);
+  fresh.refresh(fx.pre.placement);
+
+  EXPECT_EQ(survivor.cached_latency_sum(), fresh.cached_latency_sum());
+  EXPECT_NE(survivor.cached_latency_sum(), before)
+      << "mutated workload should not score like the old one";
+  EXPECT_EQ(survivor.full_objective(fx.pre.placement),
+            fresh.full_objective(fx.pre.placement));
+
+  // Rescore every removal candidate: bit-identical to the fresh engine, or
+  // the survivor is still consulting the stale index.
+  int scored = 0;
+  for (MsId m = 0; m < fx.scenario.num_microservices(); ++m) {
+    if (fx.pre.placement.instance_count(m) <= 1) continue;
+    for (const NodeId k : fx.pre.placement.nodes_of(m)) {
+      Placement trial = fx.pre.placement;
+      trial.remove(m, k);
+      EXPECT_EQ(survivor.objective_without(m, k, trial),
+                fresh.objective_without(m, k, trial))
+          << "m=" << m << " k=" << k;
+      EXPECT_EQ(survivor.objective_with_change(trial, m),
+                fresh.objective_with_change(trial, m))
+          << "m=" << m << " k=" << k;
+      ++scored;
+    }
+  }
+  ASSERT_GT(scored, 0) << "scenario lacks a multi-instance service";
+}
+
 // The headline determinism guarantee: a full SoCL solve with parallel
 // cached scoring returns the exact placement and objective of the serial
 // path under a fixed seed.

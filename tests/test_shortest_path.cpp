@@ -149,6 +149,57 @@ TEST(ShortestPaths, ParallelLinksConsistentOnMultiHopPath) {
   EXPECT_NEAR(sp.inverse_rate_sum(0, 2), 1.0 / 30.0 + 1.0 / 20.0, 1e-12);
 }
 
+TEST(ShortestPaths, ParallelDeadLinkDoesNotShadowAliveLink) {
+  // A zero-capacity link is inserted before an alive parallel link. BFS must
+  // skip the dead incidence: traversing it would record an infinite
+  // inverse-rate on a path the routing layer believes exists.
+  EdgeNetwork net;
+  net.add_node({});
+  net.add_node({});
+  const LinkId dead = net.add_link_with_rate(0, 1, 0.0);
+  const LinkId alive = net.add_link_with_rate(0, 1, 6.0);
+  ShortestPaths sp(net);
+  EXPECT_EQ(sp.hops(0, 1), 1);
+  const auto links = sp.path_links(0, 1);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], alive);
+  EXPECT_NE(links[0], dead);
+  EXPECT_DOUBLE_EQ(sp.bottleneck_rate(0, 1), 6.0);
+  EXPECT_NEAR(sp.inverse_rate_sum(0, 1), 1.0 / 6.0, 1e-12);
+}
+
+TEST(ShortestPaths, DeadMinHopPathDoesNotShadowLongerAlivePath) {
+  // Direct 0-2 link has zero rate; the only usable route is the two-hop
+  // detour 0-1-2. Before dead links were skipped, BFS would report the
+  // one-hop path and every transfer across it would cost +inf.
+  EdgeNetwork net;
+  for (int i = 0; i < 3; ++i) net.add_node({});
+  net.add_link_with_rate(0, 2, 0.0);   // dead, min-hop
+  net.add_link_with_rate(0, 1, 10.0);  // alive detour
+  net.add_link_with_rate(1, 2, 10.0);
+  ShortestPaths sp(net);
+  EXPECT_EQ(sp.hops(0, 2), 2);
+  const auto path = sp.path(0, 2);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_DOUBLE_EQ(sp.bottleneck_rate(0, 2), 10.0);
+  EXPECT_NEAR(sp.inverse_rate_sum(0, 2), 0.2, 1e-12);
+}
+
+TEST(ShortestPaths, AllDeadLinksMeansUnreachable) {
+  // A node reachable only through zero-capacity links is unreachable: no
+  // data can ever cross, so pretending a path exists hides the infeasibility.
+  EdgeNetwork net;
+  for (int i = 0; i < 3; ++i) net.add_node({});
+  net.add_link_with_rate(0, 1, 4.0);
+  net.add_link_with_rate(1, 2, 0.0);
+  ShortestPaths sp(net);
+  EXPECT_TRUE(sp.reachable(0, 1));
+  EXPECT_FALSE(sp.reachable(0, 2));
+  EXPECT_EQ(sp.hops(0, 2), ShortestPaths::unreachable());
+  EXPECT_TRUE(sp.path(0, 2).empty());
+}
+
 TEST(ShortestPaths, SymmetricHops) {
   auto net = path_graph();
   ShortestPaths sp(net);
