@@ -1,23 +1,33 @@
-// bench_scale — request-class aggregation at population scale
-// (DESIGN.md §4g, EXPERIMENTS.md "Scale sweep").
+// bench_scale — request-class aggregation and the SoA scoring kernel at
+// population scale (DESIGN.md §4g/§4h, EXPERIMENTS.md "Scale sweep").
 //
 // Sweeps synthetic populations built by replicating a fixed template
 // workload (replicate_requests), so the class count stays bounded while the
-// user count grows 10k → 1M. At every point the full SoCL pipeline runs
-// twice — once with request-class aggregation (the default) and once on the
-// per-user path — and the table reports:
+// user count grows 10k → 1M. Every point runs two head-to-heads:
 //
-//   * classes / compression ratio (the socl.scale.* gauges),
-//   * wall time per mode and the aggregated-over-per-user speedup,
-//   * whether the two objectives are bit-identical (they must be: both
-//     modes totalise class-major, so any difference is a bug).
+//   * kernel vs legacy on the DEFAULT pipeline (multi-start + relocation
+//     on): aggregated scoring through the SoA kernel against the same solve
+//     on the legacy ChainRouter path. The default pipeline is the honest
+//     operating point — its dense-placement descent (multi-start) and
+//     polish are where scoring dominates, and ablating them would measure
+//     the kernel mostly on degenerate one-lane DPs;
+//   * aggregated vs per-user, both on a single budget descent (relocation
+//     and multi-start off). Per-user routing of 1M users through the full
+//     default pipeline would take ~50x the aggregated solve, so this
+//     comparison keeps the cheaper ablated config on BOTH sides.
 //
-// Relocation polish and multi-start are disabled for BOTH modes so the
-// head-to-head compares one descent against one descent. `--check` turns
-// the invariants into a nonzero exit status for CI:
-//   * objectives bit-identical at every sweep point,
+// The table reports classes / compression (the socl.scale.* gauges), wall
+// time per mode, the two speedups, and whether objectives are bit-identical
+// within each head-to-head (they must be: both aggregation modes totalise
+// class-major and the kernel evaluates the legacy DP's expressions in the
+// legacy order, so any difference is a bug). `--check` turns the invariants
+// into a nonzero exit status for CI:
+//   * objectives bit-identical within both pairings at every sweep point,
 //   * compression >= 100x at 100k users on the default eshop catalog,
-//   * (full mode only) aggregated solve >= 50x faster at the largest point.
+//   * kernel >= 1.2x faster than legacy at the largest point (tiny mode)
+//     and >= 3x in the full sweep,
+//   * (full mode only) aggregated solve >= 50x faster than per-user at the
+//     largest point.
 #include <cstring>
 #include <vector>
 
@@ -35,18 +45,23 @@ struct SweepRow {
   int users = 0;
   int classes = 0;
   double compression = 0.0;
-  double aggregated_s = 0.0;
-  double per_user_s = 0.0;
-  double speedup = 0.0;
+  double kernel_s = 0.0;      // default pipeline, aggregated + SoA kernel
+  double legacy_s = 0.0;      // default pipeline, aggregated + legacy router
+  double descent_s = 0.0;     // single descent, aggregated + SoA kernel
+  double per_user_s = 0.0;    // single descent, per-user + SoA kernel
+  double agg_speedup = 0.0;   // per_user_s / descent_s
+  double kernel_speedup = 0.0;  // legacy_s / kernel_s
   bool identical = false;
 };
 
-core::SoCLParams head_to_head_params(bool aggregate, obs::ObsSink* sink) {
+core::SoCLParams head_to_head_params(bool aggregate, bool kernel,
+                                     bool full_pipeline, obs::ObsSink* sink) {
   core::SoCLParams params;
   params.sink = sink;
   params.combination.aggregate_requests = aggregate;
-  params.combination.use_relocation = false;
-  params.combination.use_multi_start = false;
+  params.combination.use_score_kernel = kernel;
+  params.combination.use_relocation = full_pipeline;
+  params.combination.use_multi_start = full_pipeline;
   return params;
 }
 
@@ -63,26 +78,47 @@ SweepRow run_point(int nodes, int num_users, int template_users) {
 
   obs::Recorder recorder;
   util::WallTimer timer;
-  const core::Solution aggregated =
-      core::SoCL(head_to_head_params(true, &recorder)).solve(scenario);
-  row.aggregated_s = timer.elapsed_seconds();
+  const core::Solution kernel =
+      core::SoCL(head_to_head_params(true, true, true, &recorder))
+          .solve(scenario);
+  row.kernel_s = timer.elapsed_seconds();
+  timer.reset();
+  const core::Solution legacy =
+      core::SoCL(head_to_head_params(true, false, true, nullptr))
+          .solve(scenario);
+  row.legacy_s = timer.elapsed_seconds();
+  timer.reset();
+  const core::Solution descent =
+      core::SoCL(head_to_head_params(true, true, false, nullptr))
+          .solve(scenario);
+  row.descent_s = timer.elapsed_seconds();
   timer.reset();
   const core::Solution per_user =
-      core::SoCL(head_to_head_params(false, nullptr)).solve(scenario);
+      core::SoCL(head_to_head_params(false, true, false, nullptr))
+          .solve(scenario);
   row.per_user_s = timer.elapsed_seconds();
-  row.speedup = row.aggregated_s > 0.0 ? row.per_user_s / row.aggregated_s
-                                       : 0.0;
-  row.identical =
-      aggregated.evaluation.objective == per_user.evaluation.objective &&
-      aggregated.evaluation.total_latency ==
-          per_user.evaluation.total_latency &&
-      aggregated.placement == per_user.placement;
+  row.agg_speedup =
+      row.descent_s > 0.0 ? row.per_user_s / row.descent_s : 0.0;
+  row.kernel_speedup =
+      row.kernel_s > 0.0 ? row.legacy_s / row.kernel_s : 0.0;
 
-  // The socl.scale.* gauges must mirror what the scenario reports.
+  const auto same = [](const core::Solution& a, const core::Solution& b) {
+    return a.evaluation.objective == b.evaluation.objective &&
+           a.evaluation.total_latency == b.evaluation.total_latency &&
+           a.placement == b.placement;
+  };
+  row.identical = same(kernel, legacy) && same(descent, per_user);
+
+  // The socl.scale.* / socl.kernel.* gauges must mirror the run.
   const auto snapshot = recorder.metrics().snapshot();
   const auto* gauge = snapshot.find("socl.scale.compression");
   if (gauge == nullptr || gauge->gauge != row.compression) {
     std::cout << "WARNING: socl.scale.compression gauge missing or stale\n";
+    row.identical = false;
+  }
+  const auto* kernel_gauge = snapshot.find("socl.kernel.enabled");
+  if (kernel_gauge == nullptr || kernel_gauge->gauge != 1.0) {
+    std::cout << "WARNING: socl.kernel.enabled gauge missing or not set\n";
     row.identical = false;
   }
   return row;
@@ -96,8 +132,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--check") == 0) check = true;
   }
   bench::banner("bench_scale",
-                "request-class aggregation: 10k -> 1M users at bounded class "
-                "counts, aggregated vs per-user head-to-head");
+                "aggregation + SoA kernel: 10k -> 1M users at bounded class "
+                "counts, kernel vs legacy vs per-user head-to-head");
 
   const bool tiny = bench::tiny_mode();
   const int nodes = tiny ? 8 : 12;
@@ -106,22 +142,28 @@ int main(int argc, char** argv) {
       tiny ? std::vector<int>{2'000, 10'000}
            : std::vector<int>{10'000, 100'000, 1'000'000};
 
-  util::Table table({"users", "classes", "compression", "aggregated_s",
-                     "per_user_s", "speedup", "objectives"});
+  util::Table table({"users", "classes", "compression", "kernel_s",
+                     "legacy_s", "descent_s", "per_user_s", "agg_speedup",
+                     "kernel_speedup", "objectives"});
   bool all_identical = true;
-  double last_speedup = 0.0;
+  double last_agg_speedup = 0.0;
+  double last_kernel_speedup = 0.0;
   for (const int users : sweep) {
     const int templates = std::max(1, std::min(5'000, users / 200));
     const SweepRow row = run_point(nodes, users, templates);
     all_identical = all_identical && row.identical;
-    last_speedup = row.speedup;
+    last_agg_speedup = row.agg_speedup;
+    last_kernel_speedup = row.kernel_speedup;
     table.row()
         .cell(std::to_string(row.users))
         .cell(std::to_string(row.classes))
         .num(row.compression, 1)
-        .num(row.aggregated_s, 3)
+        .num(row.kernel_s, 3)
+        .num(row.legacy_s, 3)
+        .num(row.descent_s, 3)
         .num(row.per_user_s, 3)
-        .num(row.speedup, 1)
+        .num(row.agg_speedup, 1)
+        .num(row.kernel_speedup, 1)
         .cell(row.identical ? "bit-identical" : "DIVERGED");
   }
   table.print(std::cout);
@@ -137,16 +179,28 @@ int main(int argc, char** argv) {
   const double floor_ratio = floor_scenario.classes().compression_ratio();
 
   const bool compression_ok = floor_ratio >= 100.0;
-  const bool speedup_ok = tiny || last_speedup >= 50.0;
+  const bool agg_speedup_ok = tiny || last_agg_speedup >= 50.0;
+  // The kernel floor is intentionally below the measured margin
+  // (EXPERIMENTS.md records the actual numbers) so CI-runner noise cannot
+  // flake the job, while a real regression — lost batching, reintroduced
+  // per-call allocation — still fails it.
+  const double kernel_floor = tiny ? 1.2 : 3.0;
+  const bool kernel_speedup_ok = last_kernel_speedup >= kernel_floor;
   std::cout << "\ncompression at 100k users / 500 templates: " << floor_ratio
             << "x (floor 100x) " << (compression_ok ? "PASS" : "FAIL")
-            << "\nobjectives aggregated vs per-user: "
+            << "\nobjectives within both head-to-heads: "
             << (all_identical ? "bit-identical PASS" : "DIVERGED FAIL")
-            << "\nspeedup at largest point: " << last_speedup << "x "
+            << "\naggregation speedup at largest point: " << last_agg_speedup
+            << "x "
             << (tiny ? "(tiny mode, 50x floor not enforced)"
-                     : speedup_ok ? "(>=50x) PASS"
-                                  : "(<50x) FAIL")
-            << '\n';
-  if (check && !(compression_ok && all_identical && speedup_ok)) return 1;
+                     : agg_speedup_ok ? "(>=50x) PASS"
+                                      : "(<50x) FAIL")
+            << "\nkernel speedup at largest point: " << last_kernel_speedup
+            << "x (floor " << kernel_floor << "x) "
+            << (kernel_speedup_ok ? "PASS" : "FAIL") << '\n';
+  if (check && !(compression_ok && all_identical && agg_speedup_ok &&
+                 kernel_speedup_ok)) {
+    return 1;
+  }
   return 0;
 }

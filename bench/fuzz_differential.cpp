@@ -22,6 +22,8 @@ void usage(const char* argv0) {
       << "  --seed N         run exactly one seed (same as --cases 1 "
          "--base-seed N)\n"
       << "  --no-mip         skip the MIP cross-check leg\n"
+      << "  --kernel         run the kernel-vs-legacy scoring lane instead\n"
+         "                   of the solver cross-checks (DESIGN.md 4h)\n"
       << "  --exact-limit S  exact-solver time limit per case, seconds "
          "(default 10)\n"
       << "  --verbose        print one line per case\n";
@@ -31,6 +33,7 @@ void usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   socl::validate::FuzzOptions options;
+  bool kernel_lane = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&](const char* flag) -> const char* {
@@ -51,6 +54,8 @@ int main(int argc, char** argv) {
       options.verbose = true;
     } else if (arg == "--no-mip") {
       options.run_mip = false;
+    } else if (arg == "--kernel") {
+      kernel_lane = true;
     } else if (arg == "--exact-limit") {
       options.exact_time_limit_s = std::atof(next_value("--exact-limit"));
       options.mip_time_limit_s = options.exact_time_limit_s;
@@ -70,11 +75,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto summary = socl::validate::run_differential_fuzz(options);
+  const auto summary =
+      kernel_lane ? socl::validate::run_kernel_differential_fuzz(options)
+                  : socl::validate::run_differential_fuzz(options);
   std::cout << summary.summary() << "\n";
   if (!summary.ok()) {
     std::cerr << "DIFFERENTIAL FUZZ FAILED: " << summary.disagreements
-              << " disagreement(s); rerun a seed with --seed N --verbose\n";
+              << " disagreement(s); rerun a seed with "
+              << (kernel_lane ? "--kernel " : "") << "--seed N --verbose\n";
     return 1;
   }
   return 0;

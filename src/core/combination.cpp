@@ -24,7 +24,7 @@ Combiner::Combiner(const Scenario& scenario, const Partitioning& partitioning,
       config_(config),
       evaluator_(scenario),
       engine_(scenario, config.threads, config.use_parallel_scoring,
-              config.aggregate_requests) {
+              config.aggregate_requests, config.use_score_kernel) {
   engine_.set_sink(config_.sink);
   const auto services = static_cast<std::size_t>(scenario.num_microservices());
   const auto nodes = static_cast<std::size_t>(scenario.num_nodes());
@@ -152,9 +152,9 @@ double Combiner::psi_for_instance(MsId m, NodeId k,
   const double compute = scenario_->catalog().microservice(m).compute_gflop /
                          scenario_->network().node(k).compute_gflops;
   double total = 0.0;
-  for (const auto& cls : scenario_->classes().classes()) {
+  for (int c : scenario_->classes().classes_using(m)) {
+    const auto& cls = scenario_->classes().cls(c);
     const auto& request = scenario_->request(cls.representative);
-    if (!request.uses(m)) continue;
     if (!config_.aggregate_requests) {
       // Per-user baseline: every member re-runs the connection scan (the
       // dominant per-user cost of the ψ pass).
@@ -172,9 +172,13 @@ double Combiner::psi_for_instance(MsId m, NodeId k,
 }
 
 double Combiner::zeta_for_instance(MsId m, NodeId k,
-                                   const Placement& placement) const {
+                                   const Placement& placement,
+                                   const ZetaPrep& prep) const {
   // ζ_{i,k} = ψ(P''^t) − ψ(P'^t) where P'' excludes the instance at k and
-  // every affected user reconnects by the connection-update rule.
+  // every affected user reconnects by the connection-update rule. `prep`
+  // carries the classes using m and their connections under `placement`
+  // (shared by all of m's instances this pass), so only the classes
+  // actually served by (m, k) rescan — under `without` — here.
   const auto& vlinks = scenario_->vlinks();
   const auto& network = scenario_->network();
   const double compute_k =
@@ -186,16 +190,15 @@ double Combiner::zeta_for_instance(MsId m, NodeId k,
 
   double before = 0.0;
   double after = 0.0;
-  for (const auto& cls : scenario_->classes().classes()) {
+  // Reconnections under `without` are also a pure function of (m, attach),
+  // so served classes sharing an attachment share one rescan.
+  std::vector<NodeId> requeue_of(
+      static_cast<std::size_t>(scenario_->num_nodes()), net::kInvalidNode);
+  std::vector<bool> have(requeue_of.size(), false);
+  const auto& classes = scenario_->classes().classes();
+  const auto eval_served = [&](std::size_t i) -> bool {
+    const auto& cls = classes[static_cast<std::size_t>(prep.class_ids[i])];
     const auto& request = scenario_->request(cls.representative);
-    if (!request.uses(m)) continue;
-    if (!config_.aggregate_requests) {
-      for (std::size_t j = 1; j < cls.members.size(); ++j) {
-        volatile NodeId echo = best_connection(request.id, m, placement);
-        static_cast<void>(echo);
-      }
-    }
-    if (best_connection(request.id, m, placement) != k) continue;
     if (!config_.aggregate_requests) {
       for (std::size_t j = 1; j < cls.members.size(); ++j) {
         volatile NodeId echo = best_connection(request.id, m, without);
@@ -205,12 +208,39 @@ double Combiner::zeta_for_instance(MsId m, NodeId k,
     const double data = scenario_->request_inbound_data(request, m);
     before += cls.weight * (vlinks.transfer_time(data, request.attach_node, k) +
                             compute_k);
-    const NodeId q = best_connection(request.id, m, without);
-    if (q == net::kInvalidNode) return kInf;  // would orphan the user
+    const auto attach = static_cast<std::size_t>(request.attach_node);
+    if (!have[attach]) {
+      requeue_of[attach] = best_connection(request.id, m, without);
+      have[attach] = true;
+    }
+    const NodeId q = requeue_of[attach];
+    if (q == net::kInvalidNode) return false;  // would orphan the user
     after += cls.weight *
              (vlinks.transfer_time(data, request.attach_node, q) +
               scenario_->catalog().microservice(m).compute_gflop /
                   network.node(q).compute_gflops);
+    return true;
+  };
+  if (config_.aggregate_requests) {
+    // Only the classes this instance serves contribute; the prep's served
+    // buckets hold exactly those, ascending, so the accumulation order
+    // matches the full filtered scan bit for bit.
+    for (const int i : prep.served[static_cast<std::size_t>(k)]) {
+      if (!eval_served(static_cast<std::size_t>(i))) return kInf;
+    }
+    return after - before;
+  }
+  for (std::size_t i = 0; i < prep.class_ids.size(); ++i) {
+    const auto& cls = classes[static_cast<std::size_t>(prep.class_ids[i])];
+    const auto& request = scenario_->request(cls.representative);
+    // Per-user baseline: every member re-runs the connection scan (the
+    // dominant per-user cost of the ζ sweep).
+    for (std::size_t j = 1; j < cls.members.size(); ++j) {
+      volatile NodeId echo = best_connection(request.id, m, placement);
+      static_cast<void>(echo);
+    }
+    if (prep.connection[i] != k) continue;
+    if (!eval_served(i)) return kInf;
   }
   return after - before;
 }
@@ -222,17 +252,52 @@ std::vector<LatencyLoss> Combiner::latency_losses(
   // Algorithm 4: skip microservices down to one instance (service
   // continuity), compute ζ per remaining instance, return ascending.
   std::vector<std::pair<MsId, NodeId>> instances;
+  std::vector<std::size_t> prep_of;
+  std::vector<ZetaPrep> preps;
   for (MsId m = 0; m < scenario_->num_microservices(); ++m) {
     if (placement.instance_count(m) <= 1) continue;
+    // One connection scan per (m, attach node) serves every instance of m:
+    // the scored placement is fixed for the whole pass and best_connection
+    // reads nothing else of the user, so classes sharing an attachment share
+    // the scan. The inverted chain index supplies exactly the classes using
+    // m (ascending), replacing a full uses(m) sweep per microservice.
+    ZetaPrep prep;
+    const auto& users = scenario_->classes().classes_using(m);
+    prep.class_ids.reserve(users.size());
+    prep.connection.reserve(users.size());
+    prep.served.resize(static_cast<std::size_t>(scenario_->num_nodes()));
+    std::vector<NodeId> conn_of(
+        static_cast<std::size_t>(scenario_->num_nodes()), net::kInvalidNode);
+    std::vector<bool> have(conn_of.size(), false);
+    for (int c : users) {
+      const auto& request =
+          scenario_->request(scenario_->classes().cls(c).representative);
+      const auto attach = static_cast<std::size_t>(request.attach_node);
+      if (!have[attach]) {
+        conn_of[attach] = best_connection(request.id, m, placement);
+        have[attach] = true;
+      }
+      const NodeId conn = conn_of[attach];
+      if (conn != net::kInvalidNode) {
+        prep.served[static_cast<std::size_t>(conn)].push_back(
+            static_cast<int>(prep.class_ids.size()));
+      }
+      prep.class_ids.push_back(c);
+      prep.connection.push_back(conn);
+    }
+    preps.push_back(std::move(prep));
     for (NodeId k = 0; k < scenario_->num_nodes(); ++k) {
-      if (placement.deployed(m, k)) instances.emplace_back(m, k);
+      if (placement.deployed(m, k)) {
+        instances.emplace_back(m, k);
+        prep_of.push_back(preps.size() - 1);
+      }
     }
   }
   const auto& constants = scenario_->constants();
   std::vector<LatencyLoss> losses(instances.size());
   auto fill = [&](std::size_t i) {
     const auto [m, k] = instances[i];
-    const double zeta = zeta_for_instance(m, k, placement);
+    const double zeta = zeta_for_instance(m, k, placement, preps[prep_of[i]]);
     const double gradient =
         (1.0 - constants.lambda) * constants.latency_weight * zeta -
         constants.lambda * scenario_->catalog().microservice(m).deploy_cost;
@@ -258,21 +323,10 @@ bool Combiner::violates_deadline(const Placement& placement) const {
   // Members of a request class share chain, demand, and deadline, so the
   // representative's verdict covers the whole class in both modes.
   if (use_exact_eval()) {
-    const ChainRouter& router = evaluator_.router();
-    RouteScratch scratch;
-    for (const auto& cls : scenario_->classes().classes()) {
-      const auto& request = scenario_->request(cls.representative);
-      // route_cost is +inf for unroutable users, which trips the deadline.
-      const double d = router.route_cost(request, placement, scratch);
-      if (!config_.aggregate_requests) {
-        for (std::size_t j = 1; j < cls.members.size(); ++j) {
-          volatile double echo = router.route_cost(request, placement, scratch);
-          static_cast<void>(echo);
-        }
-      }
-      if (d > request.deadline + 1e-9) return true;
-    }
-    return false;
+    // Route the verdict through the engine so it shares the kernel scoring
+    // hot path (and its scratch slots — the old local RouteScratch here
+    // heap-allocated on every rollback check).
+    return engine_.any_deadline_violation(placement);
   }
   for (const auto& cls : scenario_->classes().classes()) {
     const auto& request = scenario_->request(cls.representative);

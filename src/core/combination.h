@@ -58,6 +58,13 @@ struct CombinationConfig {
   /// modes totalise class-major, so objectives are bit-identical (enforced
   /// by the differential harness's aggregation lane).
   bool aggregate_requests = true;
+  /// Score classes through the SoA kernel (DESIGN.md §4h): a lane-batched
+  /// chain DP over contiguous buffers that evaluates all first-layer
+  /// conditionings at once. false keeps the legacy per-conditioning
+  /// ChainRouter path; results are bit-identical either way (enforced by
+  /// the differential harness's kernel lane and `bench_scale --check`),
+  /// only the wall time differs.
+  bool use_score_kernel = true;
   bool use_parallel_stage = true;   // ablation switches
   bool use_storage_planning = true;
   bool use_rollback = true;
@@ -175,7 +182,25 @@ class Combiner {
  private:
 
   double psi_for_instance(MsId m, NodeId k, const Placement& placement) const;
-  double zeta_for_instance(MsId m, NodeId k, const Placement& placement) const;
+  /// Per-microservice work shared by every removable instance of m in one
+  /// latency_losses pass: the classes whose chains use m (ascending class
+  /// id) and each one's connection under the scored placement. Hoisting
+  /// this out of zeta_for_instance turns Algorithm 4's ζ sweep from
+  /// O(instances · classes) connection scans into O(classes) per
+  /// microservice, with bit-identical sums (same contributing classes,
+  /// same order).
+  struct ZetaPrep {
+    std::vector<int> class_ids;
+    std::vector<NodeId> connection;
+    /// served[k]: indices into class_ids whose connection is node k
+    /// (ascending, so per-instance sums keep the class-major order). Lets
+    /// the aggregated ζ evaluation touch only the classes the instance
+    /// actually serves; the per-user baseline still walks every class using
+    /// m, whose member echo scans are its honest dominant cost.
+    std::vector<std::vector<int>> served;
+  };
+  double zeta_for_instance(MsId m, NodeId k, const Placement& placement,
+                           const ZetaPrep& prep) const;
   bool violates_deadline(const Placement& placement) const;
   bool use_exact_eval() const;
 

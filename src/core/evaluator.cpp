@@ -33,19 +33,17 @@ Evaluation Evaluator::evaluate(const Placement& placement) const {
 
   double total = 0.0;
   double worst = 0.0;
-  RouteScratch scratch;  // reused across the class loop
   // Class-major: members of a request class are indistinguishable to the
   // router, so one representative route covers the whole class and the
   // totals fold in weight · value — O(classes) routes instead of O(users).
   for (const auto& cls : scenario_->classes().classes()) {
     const auto& request = scenario_->request(cls.representative);
-    auto routed = router_.route(request, placement, scratch);
-    if (!routed) {
+    if (!router_.route_into(request, placement, scratch_, routed_)) {
       eval.routable = false;
       eval.objective = std::numeric_limits<double>::infinity();
       return eval;
     }
-    const double d = routed->total();
+    const double d = routed_.total();
     total += cls.weight * d;
     worst = std::max(worst, d);
     if (d > request.deadline + 1e-9) eval.deadline_violations += cls.size();
@@ -80,11 +78,11 @@ Evaluation Evaluator::evaluate(const Placement& placement,
   // to per-member completion times within the class.
   for (const auto& cls : scenario_->classes().classes()) {
     const auto& request = scenario_->request(cls.representative);
-    const auto& rep_route = assignment.user_route(cls.representative);
+    const auto rep_route = assignment.user_route(cls.representative);
     bool uniform = true;
     for (int member : cls.members) {
       if (member != cls.representative &&
-          assignment.user_route(member) != rep_route) {
+          !std::ranges::equal(assignment.user_route(member), rep_route)) {
         uniform = false;
         break;
       }

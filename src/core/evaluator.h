@@ -33,12 +33,17 @@ struct Evaluation {
   std::string summary() const;
 };
 
+/// Not thread-safe: evaluate() reuses member scratch buffers, so concurrent
+/// evaluations need one Evaluator per thread (they are cheap to construct).
 class Evaluator {
  public:
   explicit Evaluator(const Scenario& scenario)
       : scenario_(&scenario), router_(scenario) {}
 
-  /// Routes the placement optimally and scores it.
+  /// Routes the placement optimally and scores it. Allocation-free once the
+  /// member scratch has warmed up to the workload's largest class
+  /// (test_evaluator pins this — the call sits on the solver's rollback and
+  /// sweep paths, where a per-call heap round trip was measurable).
   Evaluation evaluate(const Placement& placement) const;
 
   /// Scores a placement with a caller-supplied assignment (used to audit a
@@ -55,6 +60,11 @@ class Evaluator {
  private:
   const Scenario* scenario_;
   ChainRouter router_;
+  /// Reused DP buffers and route result for evaluate(); mutable because
+  /// evaluation is logically const (the scratch carries no state between
+  /// calls beyond its capacity).
+  mutable RouteScratch scratch_;
+  mutable RouteResult routed_;
 };
 
 }  // namespace socl::core

@@ -90,20 +90,25 @@ std::size_t Placement::idx(MsId m, NodeId k) const {
 }
 
 Assignment::Assignment(const Scenario& scenario) {
-  slots_.reserve(scenario.requests().size());
+  offset_.reserve(scenario.requests().size() + 1);
+  offset_.push_back(0);
+  std::size_t total = 0;
   for (const auto& request : scenario.requests()) {
-    slots_.emplace_back(request.chain.size(), net::kInvalidNode);
+    total += request.chain.size();
+    offset_.push_back(total);
   }
+  data_.assign(total, net::kInvalidNode);
 }
 
 bool Assignment::consistent_with(const Scenario& scenario,
                                  const Placement& placement) const {
-  if (slots_.size() != scenario.requests().size()) return false;
-  for (std::size_t h = 0; h < slots_.size(); ++h) {
+  if (offset_.size() != scenario.requests().size() + 1) return false;
+  for (std::size_t h = 0; h + 1 < offset_.size(); ++h) {
     const auto& request = scenario.requests()[h];
-    if (slots_[h].size() != request.chain.size()) return false;
+    const std::size_t begin = offset_[h];
+    if (offset_[h + 1] - begin != request.chain.size()) return false;
     for (std::size_t pos = 0; pos < request.chain.size(); ++pos) {
-      const NodeId k = slots_[h][pos];
+      const NodeId k = data_[begin + pos];
       if (k == net::kInvalidNode) return false;
       if (!placement.deployed(request.chain[pos], k)) return false;
     }

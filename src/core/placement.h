@@ -3,6 +3,9 @@
 // per-node storage load (Eq. 6), total deployment cost (Eq. 1/5).
 #pragma once
 
+#include <algorithm>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/scenario.h"
@@ -62,21 +65,39 @@ class Placement {
 
 /// Routing assignment: for user h and chain position pos, the node that
 /// serves that microservice. kInvalidNode marks unassigned positions.
+///
+/// Storage is flat (one offset table plus one contiguous NodeId buffer)
+/// rather than a vector per user: at aggregated million-user scale the
+/// per-user vectors cost one heap allocation each just to construct, which
+/// used to dominate route_all's expansion of class routes to members.
 class Assignment {
  public:
   explicit Assignment(const Scenario& scenario);
 
   NodeId node_for(int user, int pos) const {
-    return slots_.at(static_cast<std::size_t>(user))
-        .at(static_cast<std::size_t>(pos));
+    return data_.at(offset_.at(static_cast<std::size_t>(user)) +
+                    static_cast<std::size_t>(pos));
   }
   void set(int user, int pos, NodeId k) {
-    slots_.at(static_cast<std::size_t>(user))
-        .at(static_cast<std::size_t>(pos)) = k;
+    data_.at(offset_.at(static_cast<std::size_t>(user)) +
+             static_cast<std::size_t>(pos)) = k;
   }
-  const std::vector<NodeId>& user_route(int user) const {
-    return slots_.at(static_cast<std::size_t>(user));
+  /// Bulk row write: copies a whole route into the user's slot range. One
+  /// bounds check per user instead of two per chain position.
+  void set_user_route(int user, const std::vector<NodeId>& nodes) {
+    const auto h = static_cast<std::size_t>(user);
+    const std::size_t begin = offset_.at(h);
+    if (nodes.size() != offset_[h + 1] - begin) {
+      throw std::out_of_range("Assignment: route length != chain length");
+    }
+    std::copy(nodes.begin(), nodes.end(), data_.begin() + static_cast<std::ptrdiff_t>(begin));
   }
+  std::span<const NodeId> user_route(int user) const {
+    const auto h = static_cast<std::size_t>(user);
+    const std::size_t begin = offset_.at(h);
+    return {data_.data() + begin, offset_[h + 1] - begin};
+  }
+  int num_users() const { return static_cast<int>(offset_.size()) - 1; }
 
   /// True when every chain position of every user has a node and that node
   /// hosts the microservice (constraints 9-10).
@@ -84,7 +105,9 @@ class Assignment {
                        const Placement& placement) const;
 
  private:
-  std::vector<std::vector<NodeId>> slots_;
+  /// offset_[h] .. offset_[h+1]: user h's slice of data_ (size users + 1).
+  std::vector<std::size_t> offset_;
+  std::vector<NodeId> data_;
 };
 
 }  // namespace socl::core

@@ -33,12 +33,20 @@ std::optional<RouteResult> ChainRouter::route(
 std::optional<RouteResult> ChainRouter::route(
     const workload::UserRequest& request, const Placement& placement,
     RouteScratch& scratch) const {
+  RouteResult result;
+  if (!route_into(request, placement, scratch, result)) return std::nullopt;
+  return result;
+}
+
+bool ChainRouter::route_into(const workload::UserRequest& request,
+                             const Placement& placement, RouteScratch& scratch,
+                             RouteResult& out) const {
   const auto& vlinks = scenario_->vlinks();
   const auto& network = scenario_->network();
   const auto& catalog = scenario_->catalog();
   const auto len = request.chain.size();
 
-  if (!fill_layers(request, placement, scratch)) return std::nullopt;
+  if (!fill_layers(request, placement, scratch)) return false;
   const auto& layers = scratch.layers;
 
   double best_total = kInf;
@@ -117,27 +125,26 @@ std::optional<RouteResult> ChainRouter::route(
     }
   }
 
-  if (best_start == net::kInvalidNode) return std::nullopt;
+  if (best_start == net::kInvalidNode) return false;
 
-  RouteResult result;
-  result.nodes.assign(scratch.route.begin(),
-                      scratch.route.begin() + static_cast<long>(len));
+  out.nodes.assign(scratch.route.begin(),
+                   scratch.route.begin() + static_cast<long>(len));
   // Recompute the breakdown from the chosen nodes (single source of truth).
-  result.d_in = vlinks.transfer_time(request.data_in, request.attach_node,
-                                     result.nodes.front());
+  out.d_in = vlinks.transfer_time(request.data_in, request.attach_node,
+                                  out.nodes.front());
+  out.compute = 0.0;
+  out.transfer = 0.0;
   for (std::size_t pos = 0; pos < len; ++pos) {
-    result.compute +=
-        catalog.microservice(request.chain[pos]).compute_gflop /
-        network.node(result.nodes[pos]).compute_gflops;
+    out.compute += catalog.microservice(request.chain[pos]).compute_gflop /
+                   network.node(out.nodes[pos]).compute_gflops;
     if (pos > 0) {
-      result.transfer += vlinks.transfer_time(
-          request.edge_data[pos - 1], result.nodes[pos - 1],
-          result.nodes[pos]);
+      out.transfer += vlinks.transfer_time(request.edge_data[pos - 1],
+                                           out.nodes[pos - 1], out.nodes[pos]);
     }
   }
-  result.d_out = vlinks.transfer_time(request.data_out, result.nodes.back(),
-                                      result.nodes.front());
-  return result;
+  out.d_out = vlinks.transfer_time(request.data_out, out.nodes.back(),
+                                   out.nodes.front());
+  return true;
 }
 
 double ChainRouter::route_cost(const workload::UserRequest& request,
@@ -204,16 +211,14 @@ std::optional<Assignment> ChainRouter::route_all(
   for (const auto& request : scenario_->requests()) {
     auto routed = route(request, placement, scratch);
     if (!routed) return std::nullopt;
-    for (std::size_t pos = 0; pos < routed->nodes.size(); ++pos) {
-      assignment.set(request.id, static_cast<int>(pos), routed->nodes[pos]);
-    }
+    assignment.set_user_route(request.id, routed->nodes);
   }
   return assignment;
 }
 
 double ChainRouter::completion_time(
     const workload::UserRequest& request,
-    const std::vector<NodeId>& route_nodes) const {
+    std::span<const NodeId> route_nodes) const {
   const auto& vlinks = scenario_->vlinks();
   const auto& network = scenario_->network();
   const auto& catalog = scenario_->catalog();

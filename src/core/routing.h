@@ -11,6 +11,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "core/placement.h"
 
@@ -53,6 +54,14 @@ class ChainRouter {
                                    const Placement& placement,
                                    RouteScratch& scratch) const;
 
+  /// As above, writing into a caller-owned result (nodes capacity is
+  /// reused) — the fully allocation-free variant once scratch and `out`
+  /// have warmed up. Returns false when the request is unroutable, leaving
+  /// `out` unspecified.
+  bool route_into(const workload::UserRequest& request,
+                  const Placement& placement, RouteScratch& scratch,
+                  RouteResult& out) const;
+
   /// Optimal completion time only — no back-pointers, no reconstruction, and
   /// no allocations once the scratch has warmed up. Returns +infinity when
   /// the request is unroutable. This is the kernel of the incremental
@@ -64,8 +73,9 @@ class ChainRouter {
   std::optional<Assignment> route_all(const Placement& placement) const;
 
   /// Completion time D_h (Eq. 2) of a fixed assignment for one user.
+  /// Accepts any contiguous node range (vectors and Assignment rows alike).
   double completion_time(const workload::UserRequest& request,
-                         const std::vector<NodeId>& route_nodes) const;
+                         std::span<const NodeId> route_nodes) const;
 
  private:
   const Scenario* scenario_;

@@ -1,7 +1,7 @@
 // Incremental routing engine for the combination stage.
 //
 // The multi-scale combiner (Algorithm 3) scores hundreds of candidate moves
-// per round, and each exact score re-runs the ChainRouter DP for the users a
+// per round, and each exact score re-runs the chain DP for the classes a
 // move can affect. This engine centralises everything that makes those scans
 // cheap:
 //   - request-class aggregation (DESIGN.md §4g): users sharing (attach node,
@@ -12,34 +12,49 @@
 //     kept for A/B measurement; both modes totalise class-major, so their
 //     objectives are bit-identical by construction (the differential
 //     harness's aggregation lane enforces this);
+//   - the SoA scoring kernel (DESIGN.md §4h): classes are scored through
+//     core/score_kernel.h by default — a lane-batched DP over contiguous
+//     float64 buffers that evaluates all first-layer conditionings at once,
+//     bit-identical to the legacy ChainRouter path (the differential kernel
+//     lane enforces this). use_kernel = false keeps the legacy path for
+//     differential checking and the bench_scale head-to-head;
 //   - a placement-epoch-keyed per-class route cache: refresh() routes every
 //     class once and stamps an epoch; candidate scoring then reroutes only
 //     the classes whose chains contain the changed microservice, and for
 //     removals only the classes whose cached route actually used the removed
-//     instance. refresh() also re-derives the class index whenever the
-//     scenario's workload epoch moved (chains regenerated, users moved), so
-//     a mutated workload can never be scored against a stale index;
-//   - per-thread reusable DP scratch buffers (RouteScratch), so the
-//     steady-state scoring path performs no heap allocations;
+//     instance. refresh() also re-derives the class index (and re-syncs the
+//     kernel's SoA buffers) whenever the scenario's workload epoch moved, so
+//     a mutated workload can never be scored against a stale view;
+//   - per-worker scratch state (RouteScratch + kernel arenas) for the
+//     fan-out, plus a mutex-guarded checkout pool backing the convenience
+//     entry points, so they are safe to call concurrently with a running
+//     score_candidates dispatch (the tsan job covers the scenario);
 //   - score_candidates(): a deterministic fan-out of independent candidate
 //     scores over util::ThreadPool. Scores are written by candidate index and
 //     every worker computes a pure function of the cache, so the result is
-//     bit-identical to the serial loop regardless of thread count;
-//   - RoutingCounters: routes computed, cache hits, reroutes avoided, and
-//     wall time per stage, threaded into CombinationStats and printed by
-//     bench_micro / bench_scale so speedups are measured, not asserted.
+//     bit-identical to the serial loop regardless of thread count. refresh()
+//     shards its per-class routing the same way and totalises with a
+//     fixed-order serial reduction, so the cached sum is bit-identical too;
+//   - RoutingCounters: routes computed, cache hits, reroutes avoided, kernel
+//     stats, and wall time per stage, threaded into CombinationStats and
+//     printed by bench_micro / bench_scale so speedups are measured, not
+//     asserted.
 //
 // DESIGN.md §4c documents the cache/scoring contract; set_sink() attaches
 // the observability layer (§4e) — refresh/score/route_all emit `routing.*`
-// spans and SoCL::solve flushes the counters as `socl.routing.*` metrics.
+// spans and SoCL::solve flushes the counters as `socl.routing.*` and
+// `socl.kernel.*` metrics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/routing.h"
+#include "core/score_kernel.h"
 #include "util/thread_pool.h"
 
 namespace socl::obs {
@@ -52,9 +67,10 @@ namespace socl::core {
 /// summed across workers (order-independent), so parallel runs report the
 /// same totals as serial ones.
 struct RoutingCounters {
-  /// Full chain-DP evaluations (route / route_cost runs). With aggregation
-  /// one run covers a whole request class; in per-user mode every member
-  /// runs its own DP, which is exactly the cost gap bench_scale measures.
+  /// Full chain-DP evaluations (route / route_cost / kernel batch runs).
+  /// With aggregation one run covers a whole request class; in per-user mode
+  /// every member runs its own DP, which is exactly the cost gap bench_scale
+  /// measures.
   std::int64_t routes_computed = 0;
   /// Latencies served straight from the epoch cache while scoring (class
   /// entries when aggregating, users otherwise).
@@ -68,6 +84,8 @@ struct RoutingCounters {
   std::int64_t cache_refreshes = 0;
   double refresh_seconds = 0.0;  ///< wall time inside refresh()
   double score_seconds = 0.0;    ///< wall time inside score_candidates()
+  /// SoA kernel counters (socl.kernel.*); all-zero in legacy mode.
+  KernelStats kernel;
 
   void merge(const RoutingCounters& other);
 };
@@ -77,15 +95,20 @@ class RoutingEngine {
   /// `threads` sizes the shared pool (0 = hardware concurrency);
   /// `parallel` == false forces every fan-out onto the calling thread;
   /// `aggregate` == false disables the request-class collapse and routes
-  /// every user individually (the measured per-user baseline).
+  /// every user individually (the measured per-user baseline);
+  /// `use_kernel` == false scores through the legacy ChainRouter DP instead
+  /// of the SoA kernel (results are bit-identical either way).
   explicit RoutingEngine(const Scenario& scenario, int threads = 0,
-                         bool parallel = true, bool aggregate = true);
+                         bool parallel = true, bool aggregate = true,
+                         bool use_kernel = true);
 
   // ---- Placement-epoch route cache ----
 
   /// Routes every request class under `placement`, replacing the cache and
-  /// bumping the epoch; rebuilds the class index first when the scenario's
-  /// workload epoch moved. Must be called before the objective_* shortcuts.
+  /// bumping the epoch; rebuilds the class index and the kernel's SoA
+  /// buffers first when the scenario's workload epoch moved. Must be called
+  /// before the objective_* shortcuts. Not safe to run concurrently with
+  /// any other entry point (it rewrites the cache they read).
   void refresh(const Placement& placement);
   /// Epoch of the current cache; 0 means "never refreshed".
   std::uint64_t epoch() const { return epoch_; }
@@ -103,6 +126,9 @@ class RoutingEngine {
   }
 
   bool aggregate_enabled() const { return aggregate_; }
+  bool kernel_enabled() const { return kernel_ != nullptr; }
+  /// The SoA scoring kernel, or nullptr in legacy mode.
+  const ScoreKernel* kernel() const { return kernel_.get(); }
 
   // ---- Incremental exact objectives (cache + scratch) ----
 
@@ -110,6 +136,7 @@ class RoutingEngine {
   struct ScoreContext {
     RouteScratch& scratch;
     RoutingCounters& counters;
+    ScoreKernel::Arena& arena;
   };
 
   /// Exact objective of `trial`, assuming it equals the cached placement
@@ -129,6 +156,12 @@ class RoutingEngine {
   /// From-scratch exact objective (no cache): routes every class.
   double full_objective(const Placement& placement, ScoreContext& ctx) const;
   double full_objective(const Placement& placement);
+
+  /// True when some class representative misses its deadline (or is
+  /// unroutable) under `placement` — the combiner's exact roll-back check,
+  /// routed through the kernel so the per-move verdict shares the scoring
+  /// hot path. Early-exits on the first violating class in class order.
+  bool any_deadline_violation(const Placement& placement);
 
   // ---- Candidate fan-out ----
 
@@ -150,8 +183,10 @@ class RoutingEngine {
   /// λ·cost + (1-λ)·w·latency — the objective combiner of Eq. (3)/(8).
   double combine(double cost, double total_latency) const;
 
-  /// Shared worker pool (lazily created). Also used by the combiner's
-  /// latency-loss stage so pools are not re-spawned every round.
+  /// Shared worker pool (lazily created; per-worker scratch state is
+  /// re-sized to the pool on every call, so it can never be undersized).
+  /// Also used by the combiner's latency-loss stage so pools are not
+  /// re-spawned every round.
   util::ThreadPool& pool();
   bool parallel_enabled() const { return parallel_; }
 
@@ -168,16 +203,56 @@ class RoutingEngine {
   const ChainRouter& router() const { return router_; }
 
  private:
+  /// A checkout slot backing the no-context convenience entry points: a
+  /// scratch + arena leased under the mutex, with a local counter block
+  /// merged back on release. Concurrent conveniences each get their own
+  /// slot, so they never alias the fan-out workers' per-slot state (the
+  /// aliasing bug the tsan job guards against).
+  struct SerialSlot {
+    RouteScratch scratch;
+    ScoreKernel::Arena arena;
+    bool in_use = false;
+  };
+  class SlotLease {
+   public:
+    explicit SlotLease(RoutingEngine& engine);
+    ~SlotLease();
+    SlotLease(const SlotLease&) = delete;
+    SlotLease& operator=(const SlotLease&) = delete;
+    ScoreContext context() { return {slot_->scratch, local_, slot_->arena}; }
+
+   private:
+    RoutingEngine* engine_;
+    SerialSlot* slot_ = nullptr;
+    RoutingCounters local_;
+  };
+
   /// Rebuilds classes_of_ from the scenario's current request classes.
   void rebuild_class_index();
+  /// Fresh bind generation for the kernel arenas; one per scoring entry so
+  /// a re-used Placement address can never be mistaken for a live binding.
+  std::uint64_t next_bind_gen() const {
+    return bind_gen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Completion time of class c under `placement` — kernel or legacy
+  /// dispatch (the kernel arena must already be bound to `placement`).
+  double class_cost(int c, const Placement& placement,
+                    ScoreContext& ctx) const;
+  /// Optimal route/breakdown of class c — kernel or legacy dispatch.
+  bool class_route(int c, const Placement& placement, ScoreContext& ctx,
+                   RouteResult& out) const;
   /// Re-runs the representative's DP for every non-representative member —
   /// the measured cost of the per-user baseline. Results are discarded
   /// through a volatile sink so the duplicate work cannot be elided.
-  void echo_members(const workload::RequestClass& cls,
-                    const Placement& placement, ScoreContext& ctx) const;
+  void echo_members(int c, const Placement& placement,
+                    ScoreContext& ctx) const;
+  void merge_counters(const RoutingCounters& local);
 
   const Scenario* scenario_;
   ChainRouter router_;
+  /// SoA scoring kernel; nullptr in legacy mode (so legacy timings carry no
+  /// kernel build cost).
+  std::unique_ptr<ScoreKernel> kernel_;
   int threads_;
   bool parallel_;
   bool aggregate_;
@@ -195,8 +270,14 @@ class RoutingEngine {
   std::vector<std::vector<NodeId>> cached_routes_;
   double cached_latency_sum_ = 0.0;
 
-  /// Worker-slot scratches (index 0 doubles as the serial-path scratch).
+  /// Fan-out worker-slot state (sized to the pool by pool()); the serial
+  /// paths lease SerialSlots instead, so the two can never alias.
   std::vector<RouteScratch> scratches_;
+  std::vector<ScoreKernel::Arena> arenas_;
+  std::vector<std::unique_ptr<SerialSlot>> serial_slots_;
+  /// Guards serial_slots_ checkout and counters_ merges.
+  std::mutex mutex_;
+  mutable std::atomic<std::uint64_t> bind_gen_{1};
   RoutingCounters counters_;
   obs::ObsSink* sink_ = nullptr;
 };

@@ -39,9 +39,17 @@ const std::vector<CriterionKind>& rho_kinds() {
 }  // namespace
 
 double order_factor(const Scenario& scenario, MsId m, NodeId k) {
+  // O(classes), not O(users): every member of a request class shares its
+  // attachment node and chain, so per-user occurrence counts collapse to
+  // one chain walk per class scaled by the class cardinality — the exact
+  // integer totals the per-user walk produced, at 1/compression the cost.
   int first = 0, last = 0, mid = 0;
-  for (const int h : scenario.users_at(k)) {
-    const auto& request = scenario.request(h);
+  const auto& classes = scenario.classes();
+  for (int c = 0; c < classes.num_classes(); ++c) {
+    const auto& cls = classes.cls(c);
+    const auto& request = scenario.request(cls.representative);
+    if (request.attach_node != k) continue;
+    const int count = cls.size();
     // A microservice may appear at several chain positions (repeats are
     // legal); every occurrence contributes. position_of() would only see
     // the first one, under-weighting e.g. the tail of [A, B, A].
@@ -49,11 +57,11 @@ double order_factor(const Scenario& scenario, MsId m, NodeId k) {
     for (int pos = 0; pos < len; ++pos) {
       if (request.chain[static_cast<std::size_t>(pos)] != m) continue;
       if (pos == 0) {
-        ++first;
+        first += count;
       } else if (pos + 1 == len) {
-        ++last;
+        last += count;
       } else {
-        ++mid;
+        mid += count;
       }
     }
   }

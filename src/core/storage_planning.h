@@ -20,6 +20,8 @@ namespace socl::core {
 
 /// Order factor R_vk^mi: weights users for whom m is first (3), last (2),
 /// or intermediate (1) in their chain, normalised by the user count.
+/// Computed over request classes (weighted by cardinality) rather than
+/// individual users — identical integer totals at O(classes) cost.
 double order_factor(const Scenario& scenario, MsId m, NodeId k);
 
 /// Local demand factor ρ_vk^mi for every deployed instance of node k,

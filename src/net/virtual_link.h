@@ -27,6 +27,18 @@ class VirtualLinks {
   /// Transfer time of `data` units from k to q: data / rate; 0 when k == q.
   double transfer_time(double data, NodeId k, NodeId q) const;
 
+  /// Inline unchecked transfer_time for hot kernels: identical expression
+  /// and therefore identical bits, minus the call and the id range check.
+  /// Callers guarantee 0 <= k, q < num_nodes() (the scoring kernel walks
+  /// candidate lists that come from the placement, which enforces this).
+  double transfer_time_fast(double data, NodeId k, NodeId q) const {
+    if (k == q) return 0.0;
+    const double r =
+        rates_[static_cast<std::size_t>(k) * n_ + static_cast<std::size_t>(q)];
+    if (r <= 0.0) return std::numeric_limits<double>::infinity();
+    return data / r;
+  }
+
   /// Communication intensity χ_{v_k} = Σ_{q != k} B(l'_{k,q}).
   double intensity(NodeId k) const {
     return intensity_[static_cast<std::size_t>(k)];

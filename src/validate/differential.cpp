@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/evaluator.h"
+#include "core/routing_engine.h"
 #include "ilp/exact_solver.h"
 #include "ilp/socl_ilp.h"
 #include "net/topology.h"
@@ -253,8 +254,8 @@ CaseResult run_differential_case(std::uint64_t seed,
     }
     if (by_class.assignment.has_value() && by_user.assignment.has_value()) {
       for (int h = 0; h < agg_scenario.num_users(); ++h) {
-        if (by_class.assignment->user_route(h) !=
-            by_user.assignment->user_route(h)) {
+        if (!std::ranges::equal(by_class.assignment->user_route(h),
+                                by_user.assignment->user_route(h))) {
           fail("assignment for user " + std::to_string(h) +
                " differs between aggregated and per-user solves");
           break;
@@ -411,6 +412,156 @@ FuzzSummary run_differential_fuzz(const FuzzOptions& options) {
     }
     if (options.verbose) {
       util::log_info("fuzz seed ", seed, ": ",
+                     result.agreed ? "agreed" : "DISAGREED", " (",
+                     result.description, ")");
+    }
+    if (!result.agreed) {
+      ++summary.disagreements;
+      summary.failures.push_back(std::move(result));
+    }
+  }
+  return summary;
+}
+
+CaseResult run_kernel_differential_case(std::uint64_t seed,
+                                        const FuzzOptions& options) {
+  FuzzCase fuzz_case = make_fuzz_case(seed);
+  core::Scenario& scenario = *fuzz_case.scenario;
+  if (options.verbose) {
+    util::log_info("kernel fuzz seed ", seed, ": ", fuzz_case.description);
+  }
+
+  CaseResult result;
+  result.seed = seed;
+  result.description = fuzz_case.description;
+  auto fail = [&result](const std::string& message) {
+    result.agreed = false;
+    if (!result.diagnosis.empty()) result.diagnosis += "\n";
+    result.diagnosis += message;
+  };
+
+  // --- Solver leg: one full SoCL solve per scoring path. The kernel is a
+  // drop-in replacement for the legacy DP, so everything downstream of the
+  // scores — placement, evaluation, assignment, and the scoring-path-
+  // independent counters — must be IDENTICAL, bit-for-bit.
+  core::SoCLParams legacy_params;
+  legacy_params.combination.use_score_kernel = false;
+  const core::Solution by_kernel = core::SoCL().solve(scenario);
+  const core::Solution by_legacy = core::SoCL(legacy_params).solve(scenario);
+  result.heuristic_objective = by_kernel.evaluation.objective;
+  if (!(by_kernel.placement == by_legacy.placement)) {
+    fail("kernel and legacy solves diverged in placement");
+  }
+  const core::Evaluation& ek = by_kernel.evaluation;
+  const core::Evaluation& el = by_legacy.evaluation;
+  if (ek.objective != el.objective || ek.total_latency != el.total_latency ||
+      ek.deployment_cost != el.deployment_cost ||
+      ek.max_latency != el.max_latency ||
+      ek.deadline_violations != el.deadline_violations ||
+      ek.routable != el.routable) {
+    fail("kernel objective " + std::to_string(ek.objective) +
+         " not bit-identical to legacy " + std::to_string(el.objective));
+  }
+  if (by_kernel.assignment.has_value() != by_legacy.assignment.has_value()) {
+    fail("kernel and legacy solves diverged in routability");
+  }
+  if (by_kernel.assignment.has_value() && by_legacy.assignment.has_value()) {
+    for (int h = 0; h < scenario.num_users(); ++h) {
+      if (!std::ranges::equal(by_kernel.assignment->user_route(h),
+                              by_legacy.assignment->user_route(h))) {
+        fail("assignment for user " + std::to_string(h) +
+             " differs between kernel and legacy solves");
+        break;
+      }
+    }
+  }
+  // The counters below count scoring EVENTS, not scoring mechanics, so they
+  // are a pure function of the solver's decision sequence — any drift means
+  // the two paths disagreed somewhere even if the final objective matched.
+  const core::RoutingCounters& ck = by_kernel.combination_stats.routing;
+  const core::RoutingCounters& cl = by_legacy.combination_stats.routing;
+  if (ck.routes_computed != cl.routes_computed ||
+      ck.cache_hits != cl.cache_hits ||
+      ck.reroutes_avoided != cl.reroutes_avoided ||
+      ck.candidates_scored != cl.candidates_scored ||
+      ck.cache_refreshes != cl.cache_refreshes) {
+    fail("routing counters diverged: kernel routed " +
+         std::to_string(ck.routes_computed) + ", legacy " +
+         std::to_string(cl.routes_computed));
+  }
+
+  // --- Engine leg: compare the scoring surface directly on a dense
+  // placement (every node hosts every service — the widest layers, and
+  // routable whenever anything is), then mutate the workload by truncating
+  // every multi-hop chain and compare again. The mutation shrinks layer
+  // counts and lane widths underneath warmed arenas/scratches, so a stale
+  // SoA tail or dp buffer on either path shows up as a bitwise mismatch.
+  core::Placement dense(scenario);
+  for (workload::MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (net::NodeId k = 0; k < scenario.num_nodes(); ++k) dense.deploy(m, k);
+  }
+  core::RoutingEngine kernel_engine(scenario, 1, false, true, true);
+  core::RoutingEngine legacy_engine(scenario, 1, false, true, false);
+  const auto compare_engines = [&](const char* when) {
+    kernel_engine.refresh(dense);
+    legacy_engine.refresh(dense);
+    if (kernel_engine.cached_latency_sum() !=
+        legacy_engine.cached_latency_sum()) {
+      fail(std::string(when) + ": cached latency sum diverged: kernel " +
+           std::to_string(kernel_engine.cached_latency_sum()) + " vs legacy " +
+           std::to_string(legacy_engine.cached_latency_sum()));
+    }
+    const double fk = kernel_engine.full_objective(dense);
+    const double fl = legacy_engine.full_objective(dense);
+    if (fk != fl) {
+      fail(std::string(when) + ": full objective diverged: kernel " +
+           std::to_string(fk) + " vs legacy " + std::to_string(fl));
+    }
+    for (workload::MsId m = 0; m < scenario.num_microservices(); ++m) {
+      const double ok = kernel_engine.objective_with_change(dense, m);
+      const double ol = legacy_engine.objective_with_change(dense, m);
+      if (ok != ol) {
+        fail(std::string(when) + ": rescore of service " + std::to_string(m) +
+             " diverged: kernel " + std::to_string(ok) + " vs legacy " +
+             std::to_string(ol));
+        break;
+      }
+    }
+    if (kernel_engine.any_deadline_violation(dense) !=
+        legacy_engine.any_deadline_violation(dense)) {
+      fail(std::string(when) + ": deadline verdict diverged");
+    }
+  };
+  compare_engines("dense");
+
+  std::vector<workload::UserRequest> shrunk = scenario.requests();
+  bool mutated = false;
+  for (auto& request : shrunk) {
+    if (request.chain.size() > 1) {
+      request.chain.pop_back();
+      request.edge_data.pop_back();
+      mutated = true;
+    }
+  }
+  if (mutated) {
+    scenario.set_requests(std::move(shrunk));
+    compare_engines("after chain shrink");
+  }
+  return result;
+}
+
+FuzzSummary run_kernel_differential_fuzz(const FuzzOptions& options) {
+  FuzzSummary summary;
+  for (int i = 0; i < options.cases; ++i) {
+    const std::uint64_t seed =
+        options.base_seed + static_cast<std::uint64_t>(i);
+    CaseResult result = run_kernel_differential_case(seed, options);
+    ++summary.cases_run;
+    if (std::isinf(result.heuristic_objective)) {
+      ++summary.heuristic_unroutable;
+    }
+    if (options.verbose) {
+      util::log_info("kernel fuzz seed ", seed, ": ",
                      result.agreed ? "agreed" : "DISAGREED", " (",
                      result.description, ")");
     }

@@ -97,4 +97,19 @@ struct FuzzSummary {
 /// Runs seeds base_seed .. base_seed + cases - 1.
 FuzzSummary run_differential_fuzz(const FuzzOptions& options);
 
+/// Kernel lane (DESIGN.md §4h): solves the seed's instance once through the
+/// SoA scoring kernel and once through the legacy ChainRouter path and
+/// requires bit-identical placements, evaluation fields, assignments, and
+/// shared routing-counter totals; then stresses the engines directly —
+/// dense-placement refresh/full-objective/per-service rescore comparisons,
+/// followed by a chain-shrinking set_requests mutation (stale SoA and
+/// scratch tails) and a re-comparison. Everything is compared bitwise, not
+/// within tolerance.
+CaseResult run_kernel_differential_case(std::uint64_t seed,
+                                        const FuzzOptions& options);
+
+/// Kernel lane over seeds base_seed .. base_seed + cases - 1 (exact/MIP
+/// summary fields stay zero — this lane never runs those solvers).
+FuzzSummary run_kernel_differential_fuzz(const FuzzOptions& options);
+
 }  // namespace socl::validate

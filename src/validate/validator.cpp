@@ -1,5 +1,6 @@
 #include "validate/validator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -66,7 +67,7 @@ SolutionValidator::SolutionValidator(const core::Scenario& scenario)
 
 double SolutionValidator::completion_time(
     const workload::UserRequest& request,
-    const std::vector<net::NodeId>& route) const {
+    std::span<const net::NodeId> route) const {
   if (route.size() != request.chain.size() || route.empty()) return kInf;
   const auto& network = scenario_->network();
   const auto& catalog = scenario_->catalog();
@@ -169,7 +170,7 @@ Report SolutionValidator::validate(const core::Placement& placement,
   bool malformed = false;
   for (const auto& request : requests) {
     ++report.users_checked;
-    const auto& route = assignment.user_route(request.id);
+    const auto route = assignment.user_route(request.id);
     bool structurally_ok = route.size() == request.chain.size();
     if (!structurally_ok) {
       report.violations.push_back(
@@ -211,7 +212,7 @@ Report SolutionValidator::validate(const core::Placement& placement,
         static_cast<std::size_t>(classes.class_of(request.id));
     const int rep = classes.cls(static_cast<int>(c)).representative;
     double d;
-    if (route == assignment.user_route(rep)) {
+    if (std::ranges::equal(route, assignment.user_route(rep))) {
       // The representative has the lowest id in its class, so its walk has
       // already populated the memo by the time any other member reads it.
       if (!class_d_known[c]) {

@@ -21,6 +21,7 @@
 // the broken equation instead of a wrong number in a benchmark table.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -102,7 +103,7 @@ class SolutionValidator {
   /// Independent D_h (Eq. 2) for one user's fixed route; +inf when a hop
   /// crosses a disconnected component.
   double completion_time(const workload::UserRequest& request,
-                         const std::vector<net::NodeId>& route) const;
+                         std::span<const net::NodeId> route) const;
 
  private:
   void check_placement(const core::Placement& placement, Report& report) const;

@@ -88,6 +88,72 @@ RequestClasses::RequestClasses(const std::vector<UserRequest>& requests)
     entry.weight += 1.0;
     class_of_[static_cast<std::size_t>(request.id)] = cls;
   }
+
+  // Inverted chain index. Class order is ascending by construction; a chain
+  // may repeat a microservice, so skip ids already recorded for this class.
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const auto& chain =
+        requests[static_cast<std::size_t>(classes_[c].representative)].chain;
+    for (MsId m : chain) {
+      const auto idx = static_cast<std::size_t>(m);
+      if (idx >= classes_using_.size()) classes_using_.resize(idx + 1);
+      auto& list = classes_using_[idx];
+      if (list.empty() || list.back() != static_cast<int>(c)) {
+        list.push_back(static_cast<int>(c));
+      }
+    }
+  }
+}
+
+const std::vector<int> RequestClasses::kNoClasses;
+
+void ClassDemandSoA::build(const RequestClasses& classes,
+                           const std::vector<UserRequest>& requests) {
+  const auto count = static_cast<std::size_t>(classes.num_classes());
+  chain_offset.clear();
+  chain.clear();
+  edge_offset.clear();
+  edge_data.clear();
+  attach.clear();
+  data_in.clear();
+  data_out.clear();
+  deadline.clear();
+  weight.clear();
+  representative.clear();
+  chain_offset.reserve(count + 1);
+  edge_offset.reserve(count + 1);
+  attach.reserve(count);
+
+  chain_offset.push_back(0);
+  edge_offset.push_back(0);
+  for (std::size_t c = 0; c < count; ++c) {
+    const RequestClass& cls = classes.cls(static_cast<int>(c));
+    const UserRequest& rep =
+        requests.at(static_cast<std::size_t>(cls.representative));
+    chain.insert(chain.end(), rep.chain.begin(), rep.chain.end());
+    edge_data.insert(edge_data.end(), rep.edge_data.begin(),
+                     rep.edge_data.end());
+    chain_offset.push_back(static_cast<std::int32_t>(chain.size()));
+    edge_offset.push_back(static_cast<std::int32_t>(edge_data.size()));
+    attach.push_back(rep.attach_node);
+    data_in.push_back(rep.data_in);
+    data_out.push_back(rep.data_out);
+    deadline.push_back(rep.deadline);
+    weight.push_back(cls.weight);
+    representative.push_back(cls.representative);
+  }
+}
+
+std::size_t ClassDemandSoA::bytes() const {
+  return chain_offset.capacity() * sizeof(std::int32_t) +
+         chain.capacity() * sizeof(MsId) +
+         edge_offset.capacity() * sizeof(std::int32_t) +
+         edge_data.capacity() * sizeof(double) +
+         attach.capacity() * sizeof(net::NodeId) +
+         (data_in.capacity() + data_out.capacity() + deadline.capacity() +
+          weight.capacity()) *
+             sizeof(double) +
+         representative.capacity() * sizeof(int);
 }
 
 std::vector<UserRequest> replicate_requests(

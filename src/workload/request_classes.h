@@ -81,10 +81,63 @@ class RequestClasses {
                                   static_cast<double>(classes_.size());
   }
 
+  /// Class ids (ascending) whose representative chain contains microservice
+  /// m; empty for services no class uses. An inverted chain index: per-
+  /// microservice consumers (ζ sweeps, demand scans) iterate it instead of
+  /// testing `uses(m)` against every class. Ids outside the indexed range
+  /// (no class mentions them) resolve to the empty list.
+  const std::vector<int>& classes_using(MsId m) const {
+    const auto idx = static_cast<std::size_t>(m);
+    return idx < classes_using_.size() ? classes_using_[idx] : kNoClasses;
+  }
+
  private:
   std::vector<RequestClass> classes_;
   std::vector<int> class_of_;
+  /// classes_using_[m]: ascending class ids with m in their chain.
+  std::vector<std::vector<int>> classes_using_;
   int num_users_ = 0;
+
+  static const std::vector<int> kNoClasses;
+};
+
+/// Structure-of-arrays view of the per-class demand tuples — everything
+/// Eq. (2) reads, flattened into contiguous buffers so the scoring kernel
+/// (core/score_kernel.h) walks plain arrays instead of chasing one
+/// UserRequest per class. Class c's chain occupies
+/// chain[chain_offset[c] .. chain_offset[c+1]) and its chain-edge data
+/// volumes occupy edge_data[edge_offset[c] .. edge_offset[c+1])
+/// (edge e sits between chain positions e and e+1). Values are copied
+/// verbatim from the representatives, so anything computed from this view is
+/// bit-identical to computing from the requests themselves.
+struct ClassDemandSoA {
+  std::vector<std::int32_t> chain_offset;  ///< size num_classes()+1
+  std::vector<MsId> chain;                 ///< flat concatenated chains
+  std::vector<std::int32_t> edge_offset;   ///< size num_classes()+1
+  std::vector<double> edge_data;           ///< flat chain-edge volumes
+  std::vector<net::NodeId> attach;         ///< attach node per class
+  std::vector<double> data_in;             ///< upload payload per class
+  std::vector<double> data_out;            ///< return payload per class
+  std::vector<double> deadline;            ///< D_h^max per class
+  std::vector<double> weight;              ///< class cardinality per class
+  std::vector<int> representative;         ///< representative request id
+
+  int num_classes() const { return static_cast<int>(attach.size()); }
+  std::size_t chain_length(int c) const {
+    return static_cast<std::size_t>(chain_offset[static_cast<std::size_t>(c) +
+                                                 1] -
+                                    chain_offset[static_cast<std::size_t>(c)]);
+  }
+
+  /// Rebuilds the view from a class partition over its request vector
+  /// (buffer capacity is reused, so periodic rebuilds on workload mutation
+  /// settle into zero allocations once the sizes stabilise).
+  void build(const RequestClasses& classes,
+             const std::vector<UserRequest>& requests);
+
+  /// Heap footprint of the flattened buffers (the socl.kernel.soa_bytes
+  /// gauge feeds from this).
+  std::size_t bytes() const;
 };
 
 /// Synthetic population builder for the scale benches: replicates the given

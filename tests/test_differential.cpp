@@ -33,6 +33,18 @@ TEST(DifferentialFuzz, SeededScenariosAgreeAcrossSolvers) {
   EXPECT_LT(summary.exact_skipped, summary.cases_run) << summary.summary();
 }
 
+// The kernel lane (DESIGN.md §4h): every seeded instance solved through the
+// SoA scoring kernel must be bit-identical — placement, evaluation,
+// assignment, counters — to the legacy ChainRouter path, including after a
+// chain-shrinking workload mutation against warmed arenas.
+TEST(DifferentialFuzz, KernelLaneBitIdenticalToLegacy) {
+  FuzzOptions options;
+  options.cases = fuzz_cases_from_env(200);
+  const FuzzSummary summary = run_kernel_differential_fuzz(options);
+  EXPECT_EQ(summary.cases_run, options.cases);
+  EXPECT_TRUE(summary.ok()) << summary.summary();
+}
+
 TEST(DifferentialFuzz, CaseIsDeterministicInSeed) {
   const FuzzOptions options;
   const CaseResult a = run_differential_case(42, options);

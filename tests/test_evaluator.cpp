@@ -1,12 +1,49 @@
-// Tests for the shared placement evaluator (Eq. 3/8 scoring + constraints).
+// Tests for the shared placement evaluator (Eq. 3/8 scoring + constraints),
+// including the warmed-up zero-allocation guarantee of evaluate() (pinned
+// with a whole-executable operator-new override).
 #include "core/evaluator.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 
 #include "workload/catalog.h"
 #include "workload/request_classes.h"
+
+// ---- Global allocation counter (whole-executable operator new override) ----
+// Each test target is its own executable, so replacing the global operator
+// new here observes every allocation made by the code under test.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+// GCC's -Wmismatched-new-delete fires on replaced global allocators built
+// on malloc/free even though new/delete are consistently paired; the
+// replacement itself is the standard sanctioned form ([new.delete.single]).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace socl::core {
 namespace {
@@ -232,6 +269,25 @@ TEST(EvaluatorTest, SummaryMentionsViolations) {
   const auto eval = evaluator.evaluate(everywhere(scenario));
   const auto text = eval.summary();
   EXPECT_NE(text.find("OVER-BUDGET"), std::string::npos);
+}
+
+// Regression: evaluate() heap-allocated a fresh RouteScratch (and a
+// RouteResult per class) on every call, which was measurable on the
+// solver's rollback and relocation paths. Once the member scratch has
+// warmed up, repeat evaluations must not allocate at all.
+TEST(EvaluatorTest, WarmedEvaluateIsAllocationFree) {
+  const auto scenario = make_scenario(config_with(0.5, 5000.0), 11);
+  const Evaluator evaluator(scenario);
+  const Placement placement = everywhere(scenario);
+  const auto warmup = evaluator.evaluate(placement);
+  ASSERT_TRUE(warmup.routable);
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto eval = evaluator.evaluate(placement);
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
+      << "warmed-up evaluate() must not allocate";
+  EXPECT_EQ(eval.objective, warmup.objective);
+  EXPECT_EQ(eval.total_latency, warmup.total_latency);
 }
 
 }  // namespace

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/socl.h"
 
@@ -201,6 +205,89 @@ TEST(RoutingEngine, WorkloadMutationRescoresLikeFreshEngine) {
     }
   }
   ASSERT_GT(scored, 0) << "scenario lacks a multi-instance service";
+}
+
+// Regression: pool() sized the per-worker scratch slots only when the pool
+// was first constructed, so a threads_ == 0 engine (pool width resolved to
+// hardware concurrency at construction) could leave the slots undersized.
+// Sizing is now re-checked on every pool() call, and the fan-out asserts
+// worker < slots; this must hold for every threads setting.
+TEST(RoutingEngine, PoolSizingRobustForAllThreadSettings) {
+  for (const int threads : {0, 1, 2, 7}) {
+    Fixture fx(18);
+    RoutingEngine engine(fx.scenario, threads, /*parallel=*/true);
+    EXPECT_GE(engine.pool().size(), 1u) << "threads=" << threads;
+    engine.refresh(fx.pre.placement);
+    const double expected = engine.full_objective(fx.pre.placement);
+    const auto scores = engine.score_candidates(
+        32, [&](std::size_t, RoutingEngine::ScoreContext& ctx) {
+          return engine.full_objective(fx.pre.placement, ctx);
+        });
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      EXPECT_EQ(scores[i], expected) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+// Regression: the convenience overloads (objective_without / with_change /
+// full_objective) wrote through the engine's slot-0 scratch and shared
+// counter block unconditionally, racing any concurrently running
+// score_candidates fan-out that was using the same slot. They now check out
+// dedicated serial slots under a mutex, so hammering them from another
+// thread during a fan-out must produce bit-identical values throughout
+// (the tsan CI job runs this test under ThreadSanitizer).
+TEST(RoutingEngine, ConvenienceOverloadsSafeDuringScoreCandidates) {
+  Fixture fx(19);
+  RoutingEngine engine(fx.scenario, /*threads=*/4, /*parallel=*/true);
+  engine.refresh(fx.pre.placement);
+  const double expected_full = engine.full_objective(fx.pre.placement);
+
+  std::vector<std::pair<MsId, NodeId>> candidates;
+  for (MsId m = 0; m < fx.scenario.num_microservices(); ++m) {
+    if (fx.pre.placement.instance_count(m) <= 1) continue;
+    for (const NodeId k : fx.pre.placement.nodes_of(m)) {
+      candidates.emplace_back(m, k);
+    }
+  }
+  ASSERT_GE(candidates.size(), 8u) << "need enough candidates to fan out";
+  const auto score_once = [&] {
+    return engine.score_candidates(
+        candidates.size(),
+        [&](std::size_t i, RoutingEngine::ScoreContext& ctx) {
+          const auto [m, k] = candidates[i];
+          Placement trial = fx.pre.placement;
+          trial.remove(m, k);
+          return engine.objective_without(m, k, trial, ctx);
+        });
+  };
+  const auto baseline = score_once();
+
+  std::atomic<bool> stop{false};
+  std::vector<double> hammered;
+  std::thread hammer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      hammered.push_back(engine.full_objective(fx.pre.placement));
+      const auto [m, k] = candidates.front();
+      Placement trial = fx.pre.placement;
+      trial.remove(m, k);
+      hammered.push_back(engine.objective_without(m, k, trial));
+      hammered.push_back(engine.objective_with_change(trial, m));
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    const auto scores = score_once();
+    ASSERT_EQ(scores.size(), baseline.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      ASSERT_EQ(scores[i], baseline[i]) << "round " << round << " i=" << i;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  hammer.join();
+  ASSERT_GE(hammered.size(), 3u);
+  for (std::size_t i = 0; i + 2 < hammered.size(); i += 3) {
+    EXPECT_EQ(hammered[i], expected_full) << "iteration " << i / 3;
+    EXPECT_EQ(hammered[i + 1], baseline.front()) << "iteration " << i / 3;
+  }
 }
 
 // The headline determinism guarantee: a full SoCL solve with parallel
