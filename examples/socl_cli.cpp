@@ -25,6 +25,7 @@
 #include "ilp/socl_ilp.h"
 #include "net/topology_families.h"
 #include "obs/recorder.h"
+#include "serve/serving_loop.h"
 #include "util/table.h"
 #include "validate/validator.h"
 
@@ -47,6 +48,16 @@ struct CliOptions {
   bool help = false;
   std::string trace_out;    // Chrome-trace JSON path ("" = off)
   std::string metrics_out;  // metrics CSV/JSON path ("" = off)
+  // --serve: drive the online serving loop (src/serve/) instead of a
+  // single one-shot solve. --users then counts request templates and
+  // --population the aggregated user base replicated over them.
+  bool serve = false;
+  int slots = 24;
+  int population = 0;  // 0 = num_users (templates serve as the population)
+  double move_prob = 0.3;
+  double drift_prob = 0.02;
+  double slot_horizon_s = 30.0;
+  std::string serve_csv;  // per-slot series path ("" = off)
 };
 
 void print_usage() {
@@ -66,6 +77,17 @@ void print_usage() {
                      validator (DESIGN.md §4f); non-zero exit on violations
   --trace-out F      write a Chrome-trace JSON span log (chrome://tracing)
   --metrics-out F    write the metrics registry (CSV, or JSON if F ends .json)
+serving mode (DESIGN.md §4i):
+  --serve            run the online serving loop over a simulated day instead
+                     of a one-shot solve; --users becomes the template count
+  --slots N          serving slots in the day (default 24)
+  --population N     aggregated users replicated over the templates
+                     (default: --users, i.e. one user per template)
+  --move-prob X      per-user mobility probability per slot (default 0.3)
+  --drift-prob X     per-user template-drift probability (default 0.02)
+  --horizon S        DES horizon per slot in seconds (default 30)
+  --serve-csv F      write the per-slot serving series as CSV
+                     (--validate turns on the full-reroute cross-check lane)
   --help             this text
 )";
 }
@@ -123,6 +145,32 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
         const char* v = next_value();
         if (!v) return false;
         options.opt_time_limit = std::stod(v);
+      } else if (arg == "--serve") {
+        options.serve = true;
+      } else if (arg == "--slots") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.slots = std::stoi(v);
+      } else if (arg == "--population") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.population = std::stoi(v);
+      } else if (arg == "--move-prob") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.move_prob = std::stod(v);
+      } else if (arg == "--drift-prob") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.drift_prob = std::stod(v);
+      } else if (arg == "--horizon") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.slot_horizon_s = std::stod(v);
+      } else if (arg == "--serve-csv") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.serve_csv = v;
       } else if (arg == "--trace-out") {
         const char* v = next_value();
         if (!v) return false;
@@ -151,6 +199,98 @@ net::TopologyFamily family_from(const std::string& name) {
   throw std::invalid_argument("unknown topology: " + name);
 }
 
+// --serve: a simulated day on the online serving loop (DESIGN.md §4i)
+// instead of a one-shot solve. Returns the process exit code.
+int run_serving(const CliOptions& options, obs::Recorder* recorder) {
+  serve::ServingConfig config;
+  config.scenario.num_nodes = options.nodes;
+  config.scenario.num_users = options.users;  // request templates
+  config.scenario.constants.budget = options.budget;
+  config.scenario.constants.lambda = options.lambda;
+  if (options.catalog == "tiny") {
+    config.scenario.use_tiny_catalog = true;
+  } else {
+    config.scenario.catalog = &workload::catalog_by_name(options.catalog);
+  }
+  config.population = options.population;  // 0 = templates as population
+  config.slots = options.slots;
+  config.slot_horizon_s = options.slot_horizon_s;
+  config.mobility.move_prob = options.move_prob;
+  config.drift_prob = options.drift_prob;
+  config.cross_check = options.validate;
+  config.seed = options.seed;
+  config.sink = recorder;
+
+  const int population =
+      config.population > 0 ? config.population : options.users;
+  std::cout << "serving day: " << options.nodes << " nodes, " << population
+            << " users over " << options.users << " templates, catalog "
+            << options.catalog << ", " << options.slots << " slots"
+            << (options.validate ? " (cross-check lane on)" : "") << "\n\n";
+  if (options.topology != "geometric") {
+    std::cout << "note: --serve uses the scenario factory substrate; "
+                 "--topology is ignored\n\n";
+  }
+
+  serve::ServingLoop loop(config);
+  util::Table table({"slot", "mode", "classes", "recomp", "churn",
+                     "requests", "slo", "cold_rate", "control_ms"});
+  for (int s = 0; s < config.slots; ++s) {
+    const serve::SlotReport slot = loop.step();
+    table.row()
+        .integer(slot.slot)
+        .cell(serve::slot_mode_name(slot.mode))
+        .integer(slot.classes)
+        .integer(slot.classes_recomputed)
+        .integer(slot.placement_churn)
+        .integer(slot.requests_completed)
+        .num(slot.slo_attainment, 4)
+        .num(slot.cold_start_rate, 4)
+        .num(slot.control_s * 1e3, 1);
+    if (options.validate && (slot.validator_violations != 0 ||
+                             !slot.full_reroute_matches)) {
+      table.print(std::cout);
+      std::cerr << "cross-check failed at slot " << slot.slot << ": "
+                << slot.validator_violations << " violations\n";
+      return 3;
+    }
+  }
+  table.print(std::cout);
+
+  const serve::ServingReport report = loop.run();  // accumulated state
+  std::cout << "\nday summary: " << report.summary() << '\n';
+  if (!options.serve_csv.empty()) {
+    report.write_csv(options.serve_csv);
+    std::cout << "serving series: " << report.slots.size() << " slots -> "
+              << options.serve_csv << '\n';
+  }
+  return 0;
+}
+
+// Shared trace/metrics export for both the one-shot and serving paths.
+void export_observability(const CliOptions& options,
+                          const obs::Recorder* recorder) {
+  if (recorder == nullptr) return;
+  if (!options.trace_out.empty()) {
+    recorder->trace().write_chrome_json(options.trace_out);
+    std::cout << "trace: " << recorder->trace().size() << " spans -> "
+              << options.trace_out << " (open in chrome://tracing)\n";
+  }
+  if (!options.metrics_out.empty()) {
+    const auto snapshot = recorder->metrics().snapshot();
+    if (options.metrics_out.size() >= 5 &&
+        options.metrics_out.substr(options.metrics_out.size() - 5) ==
+            ".json") {
+      snapshot.write_json(options.metrics_out);
+    } else {
+      snapshot.write_csv(options.metrics_out);
+    }
+    std::cout << "metrics: " << snapshot.entries.size() << " series -> "
+              << options.metrics_out << '\n';
+  }
+  std::cout << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,6 +305,24 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (options.serve) {
+      // Serving mode: an observed day on the online control plane. The
+      // recorder (when requested) collects socl.serve.* counters/gauges
+      // alongside the span trace.
+      std::unique_ptr<obs::Recorder> recorder;
+      if (!options.trace_out.empty() || !options.metrics_out.empty()) {
+        recorder = std::make_unique<obs::Recorder>();
+      }
+      int code = 0;
+      {
+        obs::ScopedSpan serve_span(recorder.get(), obs::Phase::kOther,
+                                   "cli.serve");
+        code = run_serving(options, recorder.get());
+      }
+      export_observability(options, recorder.get());
+      return code;
+    }
+
     // Build the scenario from the requested substrate pieces.
     const auto& catalog = workload::catalog_by_name(options.catalog);
     net::TopologyConfig topo;
@@ -226,27 +384,7 @@ int main(int argc, char** argv) {
     }
 
     cli_span.reset();  // close the top-level span before exporting
-
-    if (recorder) {
-      if (!options.trace_out.empty()) {
-        recorder->trace().write_chrome_json(options.trace_out);
-        std::cout << "trace: " << recorder->trace().size() << " spans -> "
-                  << options.trace_out << " (open in chrome://tracing)\n";
-      }
-      if (!options.metrics_out.empty()) {
-        const auto snapshot = recorder->metrics().snapshot();
-        if (options.metrics_out.size() >= 5 &&
-            options.metrics_out.substr(options.metrics_out.size() - 5) ==
-                ".json") {
-          snapshot.write_json(options.metrics_out);
-        } else {
-          snapshot.write_csv(options.metrics_out);
-        }
-        std::cout << "metrics: " << snapshot.entries.size() << " series -> "
-                  << options.metrics_out << '\n';
-      }
-      std::cout << '\n';
-    }
+    export_observability(options, recorder.get());
 
     std::cout << options.algorithm << ": " << solution.evaluation.summary()
               << "\nsolved in " << solution.runtime_seconds * 1e3

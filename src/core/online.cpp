@@ -95,7 +95,14 @@ Solution OnlineSoCL::step(const Scenario& scenario, OnlineStepStats* stats) {
   // Staleness guard: when the warm-started objective drifts beyond the
   // tolerance of what a fresh solve achieves, pay for the full solve and
   // keep the better decision. Periodic full re-solves bound long-run drift.
+  // The guard runs on a cadence derived from full_resolve_period; period 0
+  // ("never") disables it too — otherwise max(1, 0/3) would silently run a
+  // fresh comparison solve on every slot, defeating the point of "never".
+  // The drift comparison is strict-<, so exactly-equal objectives (a warm
+  // start that converged to the fresh solution) always keep the warm
+  // placement and its zero churn.
   if (local.warm_start_used && params_.resolve_threshold > 1.0 &&
+      params_.full_resolve_period > 0 &&
       slot_ % std::max(1, params_.full_resolve_period / 3) == 0) {
     const Solution fresh = SoCL(params_.socl).solve(scenario);
     if (fresh.evaluation.objective * params_.resolve_threshold <

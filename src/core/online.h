@@ -23,9 +23,15 @@ namespace socl::core {
 struct OnlineParams {
   SoCLParams socl;
   /// Re-solve from scratch when the warm-started objective exceeds the
-  /// fresh estimate by this factor (1.15 = 15% staleness tolerance).
+  /// fresh estimate by this factor (1.15 = 15% staleness tolerance). The
+  /// comparison is strict: a warm objective exactly equal to the fresh one
+  /// (times the threshold) keeps the warm-started placement — ties never
+  /// churn instances. Values <= 1.0 disable the staleness guard entirely.
   double resolve_threshold = 1.15;
-  /// Force a full re-solve every N slots regardless (0 = never).
+  /// Force a full re-solve every N slots regardless. 0 means never: no
+  /// periodic full re-solve AND no periodic staleness comparison (which
+  /// would itself run a fresh solve every guard slot) — the controller then
+  /// only falls back to a full solve when the warm-start repair fails.
   int full_resolve_period = 12;
 };
 

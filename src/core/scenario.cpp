@@ -67,9 +67,32 @@ void Scenario::refresh_demand_indices() {
   ++workload_epoch_;
 }
 
+bool Scenario::workload_unchanged(
+    const std::vector<workload::UserRequest>& requests) const {
+  if (requests.size() != requests_.size()) return false;
+  for (std::size_t h = 0; h < requests.size(); ++h) {
+    if (requests[h].id != requests_[h].id ||
+        !workload::same_request_class(requests[h], requests_[h])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void Scenario::set_requests(std::vector<workload::UserRequest> requests) {
   for (const auto& request : requests) {
     workload::validate(request, catalog_->num_microservices());
+  }
+  // Epoch hygiene: a slot where no demand tuple actually moved (e.g. a
+  // mobility step in which every user stayed put) must not invalidate the
+  // per-class route caches keyed on workload_epoch() — a spurious bump
+  // forces the routing engine and scoring kernel into a full class-index /
+  // SoA rebuild for a workload that is bit-identical to the one they cached.
+  // Exact per-position comparison (id + demand tuple), not fingerprints, so
+  // a colliding fingerprint can never mask a real change.
+  if (workload_unchanged(requests)) {
+    requests_ = std::move(requests);  // identical tuples; indices stay valid
+    return;
   }
   requests_ = std::move(requests);
   refresh_demand_indices();

@@ -68,7 +68,10 @@ class Scenario {
 
   /// Monotone counter bumped on every workload reindex (mobility refresh or
   /// set_requests). Consumers caching per-class state key off this to detect
-  /// a stale view of the workload.
+  /// a stale view of the workload. set_requests() with a workload whose
+  /// per-user demand tuples are all unchanged (same ids, same Eq. 2 fields)
+  /// is a no-op for the epoch — per-class route caches stay valid and no
+  /// reindex runs, so an idle mobility slot costs nothing downstream.
   std::uint64_t workload_epoch() const { return workload_epoch_; }
 
   /// U_k: ids of users attached to node k.
@@ -105,9 +108,16 @@ class Scenario {
   void refresh_demand_indices();
 
   /// Replaces the requests (e.g. a new simulation slot) and reindexes.
+  /// Skips the reindex and the workload-epoch bump when every request's
+  /// demand tuple is unchanged (exact comparison, not fingerprints).
   void set_requests(std::vector<workload::UserRequest> requests);
 
  private:
+  /// True when `requests` matches requests_ element-wise on (id, demand
+  /// tuple) — the condition under which every derived index stays valid.
+  bool workload_unchanged(
+      const std::vector<workload::UserRequest>& requests) const;
+
   net::EdgeNetwork network_;
   const workload::AppCatalog* catalog_;
   std::vector<workload::UserRequest> requests_;

@@ -1,0 +1,554 @@
+#include "serve/serving_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/evaluator.h"
+#include "obs/sink.h"
+#include "serverless/arrivals.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "validate/validator.h"
+#include "workload/request_gen.h"
+#include "workload/trace.h"
+
+namespace socl::serve {
+namespace {
+
+void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  h ^= value;
+  h *= 0x100000001B3ULL;
+}
+
+std::uint64_t bits(double value) {
+  std::uint64_t out;
+  static_assert(sizeof(out) == sizeof(value));
+  __builtin_memcpy(&out, &value, sizeof(out));
+  return out;
+}
+
+/// FNV-1a over everything the control plane sees as demand (same shape as
+/// the slot simulator's trace identity).
+std::uint64_t demand_fingerprint(
+    const std::vector<workload::UserRequest>& requests) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& request : requests) {
+    fnv_mix(h, static_cast<std::uint64_t>(request.attach_node));
+    fnv_mix(h, request.chain.size());
+    for (const workload::MsId m : request.chain) {
+      fnv_mix(h, static_cast<std::uint64_t>(m));
+    }
+    for (const double d : request.edge_data) fnv_mix(h, bits(d));
+    fnv_mix(h, bits(request.data_in));
+    fnv_mix(h, bits(request.data_out));
+    fnv_mix(h, bits(request.deadline));
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* slot_mode_name(SlotMode mode) {
+  switch (mode) {
+    case SlotMode::kCarried: return "carried";
+    case SlotMode::kIncremental: return "incremental";
+    case SlotMode::kReplan: return "replan";
+  }
+  return "replan";
+}
+
+double ServingReport::slo_attainment() const {
+  return requests_completed > 0 ? static_cast<double>(slo_met) /
+                                      static_cast<double>(requests_completed)
+                                : 1.0;
+}
+
+double ServingReport::cold_start_rate() const {
+  return invocations > 0 ? static_cast<double>(cold_serves) /
+                               static_cast<double>(invocations)
+                         : 0.0;
+}
+
+double ServingReport::recompute_fraction() const {
+  return classes_total > 0 ? static_cast<double>(classes_recomputed) /
+                                 static_cast<double>(classes_total)
+                           : 0.0;
+}
+
+void ServingReport::write_csv(const std::string& path) const {
+  util::Table table({"slot", "mode", "classes", "recomputed", "carried",
+                     "moved_weight_frac", "objective", "deploy_cost",
+                     "mean_latency_s", "churn", "churn_cost", "prewarm_hits",
+                     "invocations", "requests", "slo_met", "cold_serves",
+                     "slo_attainment",
+                     "cold_start_rate", "intensity", "demand_fingerprint",
+                     "validator_violations", "full_reroute_matches"});
+  for (const SlotReport& s : slots) {
+    table.row()
+        .integer(s.slot)
+        .cell(slot_mode_name(s.mode))
+        .integer(s.classes)
+        .integer(s.classes_recomputed)
+        .integer(s.classes_carried)
+        .num(s.moved_weight_fraction, 6)
+        .num(s.objective, 6)
+        .num(s.deployment_cost, 3)
+        .num(s.mean_latency_s, 6)
+        .integer(s.placement_churn)
+        .num(s.churn_cost, 3)
+        .integer(s.prewarm_ahead_hits)
+        .integer(s.invocations)
+        .integer(s.requests_completed)
+        .integer(s.slo_met)
+        .integer(s.cold_serves)
+        .num(s.slo_attainment, 6)
+        .num(s.cold_start_rate, 6)
+        .num(s.arrival_intensity, 6)
+        .cell(std::to_string(s.demand_fingerprint))
+        .integer(s.validator_violations)
+        .integer(s.full_reroute_matches ? 1 : 0);
+  }
+  table.write_csv(path);
+}
+
+std::string ServingReport::summary() const {
+  std::ostringstream out;
+  out << "slots=" << slots.size() << " (replan=" << replans
+      << " incremental=" << incremental_slots << " carried=" << carried_slots
+      << ")"
+      << " classes=" << classes_total << " recomputed=" << classes_recomputed
+      << " (fraction=" << recompute_fraction() << ")"
+      << " invocations=" << invocations
+      << " requests=" << requests_completed << " slo=" << slo_attainment()
+      << " cold_rate=" << cold_start_rate() << " churn=" << churn_instances
+      << " churn_cost=" << churn_cost
+      << " prewarm_hits=" << prewarm_ahead_hits;
+  return out.str();
+}
+
+ServingLoop::ServingLoop(ServingConfig config)
+    : config_(std::move(config)),
+      scenario_(core::make_scenario(config_.scenario, config_.seed)),
+      mobility_rng_(config_.seed ^ 0x6d0b111e57a75ULL),
+      drift_rng_(config_.seed ^ 0xd21f7a57e5ULL),
+      online_(config_.online),
+      placement_(scenario_),
+      previous_placement_(scenario_),
+      assignment_(scenario_) {
+  templates_ = scenario_.requests();
+  if (templates_.empty()) {
+    throw std::invalid_argument("ServingLoop: empty template workload");
+  }
+  if (config_.population > 0 &&
+      config_.population != static_cast<int>(templates_.size())) {
+    scenario_.set_requests(
+        workload::replicate_requests(templates_, config_.population));
+    assignment_ = core::Assignment(scenario_);
+  }
+
+  // The mobility model keeps the generator's hotspot bias, as in slot_sim.
+  util::Rng weight_rng(config_.seed ^ 0xabcdULL);
+  weights_ = workload::attachment_weights(scenario_.network().num_nodes(),
+                                          config_.scenario.requests,
+                                          weight_rng);
+
+  // Diurnal + bursty day profile, normalised to mean 1 over the configured
+  // slots so diurnal_amplitude scales deviation without changing the day's
+  // total volume.
+  const int per_hour = std::max(1, config_.slots_per_hour);
+  const int hours = std::max(1, (config_.slots + per_hour - 1) / per_hour);
+  auto series = workload::request_volume_series(hours, per_hour, 1.0,
+                                                config_.seed ^ 0xda11ULL);
+  const int n = std::min<int>(static_cast<int>(series.size()),
+                              std::max(1, config_.slots));
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) mean += series[static_cast<std::size_t>(i)];
+  mean = mean > 0.0 ? mean / n : 1.0;
+  day_profile_.resize(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double rel = series[i] / mean - 1.0;
+    day_profile_[i] = std::max(0.05, 1.0 + config_.diurnal_amplitude * rel);
+  }
+
+  const std::size_t cells =
+      static_cast<std::size_t>(scenario_.num_microservices()) *
+      static_cast<std::size_t>(scenario_.num_nodes());
+  prewarm_snapshot_.assign(cells, 0);
+}
+
+double ServingLoop::slot_intensity(int slot) const {
+  if (day_profile_.empty()) return 1.0;
+  return day_profile_[static_cast<std::size_t>(slot - 1) %
+                      day_profile_.size()];
+}
+
+void ServingLoop::advance_workload() {
+  auto requests = scenario_.requests();
+  workload::mobility_step(scenario_.network(), requests, weights_,
+                          config_.mobility, mobility_rng_);
+  if (config_.drift_prob > 0.0 && templates_.size() > 1) {
+    // Workload drift: a drifting user swaps to another template's demand
+    // tuple but keeps its id and attachment, so the class count stays
+    // bounded by templates × nodes however large the population. Every user
+    // consumes the same RNG draws regardless of outcome (determinism).
+    for (auto& request : requests) {
+      const bool drifts = drift_rng_.bernoulli(config_.drift_prob);
+      const std::size_t pick = drift_rng_.index(templates_.size());
+      if (!drifts) continue;
+      const workload::UserRequest& tmpl = templates_[pick];
+      request.chain = tmpl.chain;
+      request.edge_data = tmpl.edge_data;
+      request.data_in = tmpl.data_in;
+      request.data_out = tmpl.data_out;
+      request.deadline = tmpl.deadline;
+    }
+  }
+  if (config_.workload_hook) config_.workload_hook(slot_, requests);
+  scenario_.set_requests(std::move(requests));
+}
+
+const ServingLoop::CacheEntry* ServingLoop::find_cached(
+    const workload::UserRequest& rep) const {
+  const auto it = prev_index_.find(workload::request_fingerprint(rep));
+  if (it == prev_index_.end()) return nullptr;
+  for (const int i : it->second) {
+    const CacheEntry& entry = prev_entries_[static_cast<std::size_t>(i)];
+    if (workload::same_request_class(rep, entry.rep)) return &entry;
+  }
+  return nullptr;
+}
+
+void ServingLoop::rebuild_cache_from_assignment() {
+  const workload::RequestClasses& classes = scenario_.classes();
+  const core::ChainRouter router(scenario_);
+  entries_.clear();
+  cache_index_.clear();
+  entries_.reserve(static_cast<std::size_t>(classes.num_classes()));
+  for (int c = 0; c < classes.num_classes(); ++c) {
+    const workload::RequestClass& cls = classes.cls(c);
+    const workload::UserRequest& rep = scenario_.request(cls.representative);
+    const auto route = assignment_.user_route(cls.representative);
+    CacheEntry entry;
+    entry.rep = rep;
+    entry.route.assign(route.begin(), route.end());
+    entry.latency = router.completion_time(rep, route);
+    cache_index_[cls.fingerprint].push_back(c);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+void ServingLoop::expand_assignment() {
+  const workload::RequestClasses& classes = scenario_.classes();
+  assignment_ = core::Assignment(scenario_);
+  for (int c = 0; c < classes.num_classes(); ++c) {
+    const std::vector<net::NodeId>& route =
+        entries_[static_cast<std::size_t>(c)].route;
+    for (const int member : classes.cls(c).members) {
+      assignment_.set_user_route(member, route);
+    }
+  }
+}
+
+SlotReport ServingLoop::step() {
+  const obs::ScopedSpan span(config_.sink, obs::Phase::kSim, "serve.slot");
+  util::WallTimer control_timer;
+  ++slot_;
+
+  SlotReport report;
+  report.slot = slot_;
+  report.arrival_intensity = slot_intensity(slot_);
+
+  if (slot_ > 1) advance_workload();
+  const std::uint64_t epoch = scenario_.workload_epoch();
+  const bool workload_changed = !have_previous_ || epoch != last_epoch_;
+
+  const workload::RequestClasses& classes = scenario_.classes();
+  report.classes = classes.num_classes();
+  report.demand_fingerprint = demand_fingerprint(scenario_.requests());
+  const double total_weight = std::max(1.0, classes.total_weight());
+
+  bool replan = !have_previous_;
+  if (config_.full_replan_period > 0 && slot_ > 1 &&
+      (slot_ - 1) % config_.full_replan_period == 0) {
+    replan = true;
+  }
+
+  // Diff this slot's classes against the carried route cache: a class whose
+  // exact demand tuple is cached needs no routing work at all; everything
+  // else "moved" and is the incremental path's work list.
+  std::vector<const CacheEntry*> hits;
+  int moved = 0;
+  if (workload_changed && have_previous_) {
+    prev_entries_.swap(entries_);
+    prev_index_.swap(cache_index_);
+    hits.resize(static_cast<std::size_t>(classes.num_classes()));
+    double moved_weight = 0.0;
+    for (int c = 0; c < classes.num_classes(); ++c) {
+      const workload::RequestClass& cls = classes.cls(c);
+      hits[static_cast<std::size_t>(c)] =
+          find_cached(scenario_.request(cls.representative));
+      if (hits[static_cast<std::size_t>(c)] == nullptr) {
+        ++moved;
+        moved_weight += cls.weight;
+      }
+    }
+    report.moved_weight_fraction = moved_weight / total_weight;
+    if (moved_weight > config_.replan_weight_threshold * total_weight) {
+      replan = true;
+    }
+  } else if (!have_previous_) {
+    report.moved_weight_fraction = 1.0;
+  }
+
+  bool done = false;
+  if (!replan && !workload_changed) {
+    // Pure carry: set_requests no-opped (identical tuples), so placement,
+    // per-class routes, and the expanded assignment are all still exact.
+    report.mode = SlotMode::kCarried;
+    report.classes_recomputed = 0;
+    done = true;
+  }
+
+  if (!replan && !done) {
+    // Incremental: the placement is carried, so cached routes stay optimal
+    // (the chain DP is a pure function of tuple + placement); only moved
+    // classes run the DP. Any moved class unroutable under the carried
+    // placement means coverage was lost — fall through to a replan.
+    const core::ChainRouter router(scenario_);
+    std::vector<CacheEntry> next;
+    next.reserve(static_cast<std::size_t>(classes.num_classes()));
+    bool routable = true;
+    for (int c = 0; c < classes.num_classes() && routable; ++c) {
+      const workload::UserRequest& rep =
+          scenario_.request(classes.cls(c).representative);
+      const CacheEntry* hit = hits[static_cast<std::size_t>(c)];
+      CacheEntry entry;
+      entry.rep = rep;
+      if (hit != nullptr) {
+        entry.route = hit->route;
+        entry.latency = hit->latency;
+      } else {
+        auto routed = router.route(rep, placement_, scratch_);
+        if (!routed) {
+          routable = false;
+          break;
+        }
+        entry.route = std::move(routed->nodes);
+        entry.latency = routed->total();
+      }
+      next.push_back(std::move(entry));
+    }
+    if (routable) {
+      entries_ = std::move(next);
+      cache_index_.clear();
+      for (int c = 0; c < classes.num_classes(); ++c) {
+        cache_index_[classes.cls(c).fingerprint].push_back(c);
+      }
+      expand_assignment();
+      report.mode = moved == 0 ? SlotMode::kCarried : SlotMode::kIncremental;
+      report.classes_recomputed = moved;
+      done = true;
+    } else {
+      replan = true;
+    }
+  }
+
+  if (!done) {
+    core::Solution solution = online_.step(scenario_);
+    if (!solution.assignment) {
+      throw std::runtime_error(
+          "ServingLoop: slot unroutable even after a replan (slot " +
+          std::to_string(slot_) + ")");
+    }
+    placement_ = std::move(solution.placement);
+    assignment_ = std::move(*solution.assignment);
+    rebuild_cache_from_assignment();
+    report.mode = SlotMode::kReplan;
+    report.classes_recomputed = classes.num_classes();
+  }
+  report.classes_carried = report.classes - report.classes_recomputed;
+
+  // Slot economics from the class cache (uniform across modes; on replan
+  // slots this reproduces the solver's own evaluation).
+  report.deployment_cost = placement_.deployment_cost(scenario_.catalog());
+  double total_latency = 0.0;
+  for (int c = 0; c < classes.num_classes(); ++c) {
+    total_latency +=
+        entries_[static_cast<std::size_t>(c)].latency * classes.cls(c).weight;
+  }
+  report.mean_latency_s = total_latency / total_weight;
+  const core::Evaluator evaluator(scenario_);
+  report.objective = evaluator.combine(report.deployment_cost, total_latency);
+
+  core::PlacementDelta delta;
+  if (have_previous_) {
+    report.placement_churn =
+        core::placement_churn(previous_placement_, placement_);
+    delta = core::placement_delta(previous_placement_, placement_);
+    for (const auto& [m, k] : delta.added) {
+      (void)k;
+      report.churn_cost += scenario_.catalog().microservice(m).deploy_cost;
+    }
+  }
+  report.control_s = control_timer.elapsed_seconds();
+
+  if (config_.cross_check) {
+    // Forced-full-resolve lane: a from-scratch route of the whole workload
+    // must agree bit-for-bit with the incrementally maintained assignment,
+    // and the independent validator must find no constraint violation.
+    const core::ChainRouter router(scenario_);
+    const auto full = router.route_all(placement_);
+    bool matches = full.has_value();
+    if (matches) {
+      for (int h = 0; h < scenario_.num_users() && matches; ++h) {
+        const auto a = assignment_.user_route(h);
+        const auto b = full->user_route(h);
+        matches = std::equal(a.begin(), a.end(), b.begin(), b.end());
+      }
+    }
+    report.full_reroute_matches = matches;
+    if (!matches) {
+      throw std::logic_error(
+          "ServingLoop: incremental assignment diverged from full re-route "
+          "(slot " +
+          std::to_string(slot_) + ")");
+    }
+    const validate::SolutionValidator validator(scenario_);
+    report.validator_violations = static_cast<int>(
+        validator.validate(placement_, assignment_).violations.size());
+  }
+
+  // Data plane: one DES window under the slot's placement. Instances the
+  // replan added boot cold unless the previous slot's quota snapshot
+  // predicted them (prewarm-ahead): those join the carried set and open
+  // warm, modelling warm-up commands issued before rollout.
+  const serverless::SoCLPrewarmPolicy policy(scenario_);
+  {
+    serverless::ArrivalConfig arrival_config = config_.arrivals;
+    arrival_config.horizon_s = config_.slot_horizon_s;
+    arrival_config.mean_rate =
+        config_.arrivals.mean_rate * report.arrival_intensity;
+    arrival_config.seed =
+        config_.seed ^
+        (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(slot_)));
+    const auto arrivals =
+        serverless::generate_arrivals(scenario_.num_users(), arrival_config);
+
+    serverless::ServerlessConfig runtime_config = config_.runtime;
+    if (runtime_config.sink == nullptr) runtime_config.sink = config_.sink;
+    const serverless::ServerlessRuntime runtime(scenario_, runtime_config);
+
+    core::Placement carried = previous_placement_;
+    if (have_previous_ && config_.prewarm_ahead) {
+      const auto nodes = static_cast<std::size_t>(scenario_.num_nodes());
+      for (const auto& [m, k] : delta.added) {
+        const std::size_t idx =
+            static_cast<std::size_t>(m) * nodes + static_cast<std::size_t>(k);
+        if (prewarm_snapshot_[idx] != 0) {
+          carried.deploy(m, k);
+          ++report.prewarm_ahead_hits;
+        }
+      }
+    }
+    const auto metrics =
+        runtime.run(placement_, assignment_, arrivals, policy,
+                    arrival_config.seed ^ 0x5E71E55ULL,
+                    have_previous_ ? &carried : nullptr);
+    report.invocations = metrics.totals.invocations;
+    report.cold_serves = metrics.totals.cold_serves;
+    report.requests_completed =
+        static_cast<std::int64_t>(metrics.requests.size());
+    for (const serverless::RequestOutcome& outcome : metrics.requests) {
+      if (outcome.total_s() <= scenario_.request(outcome.user).deadline) {
+        ++report.slo_met;
+      }
+    }
+    report.slo_attainment =
+        report.requests_completed > 0
+            ? static_cast<double>(report.slo_met) /
+                  static_cast<double>(report.requests_completed)
+            : 1.0;
+    report.cold_start_rate =
+        report.invocations > 0
+            ? static_cast<double>(report.cold_serves) /
+                  static_cast<double>(report.invocations)
+            : 0.0;
+  }
+
+  // This slot's Alg. 2 quotas become next slot's pre-warm prediction.
+  {
+    const auto nodes = static_cast<std::size_t>(scenario_.num_nodes());
+    for (workload::MsId m = 0; m < scenario_.num_microservices(); ++m) {
+      for (net::NodeId k = 0; k < scenario_.num_nodes(); ++k) {
+        prewarm_snapshot_[static_cast<std::size_t>(m) * nodes +
+                          static_cast<std::size_t>(k)] =
+            policy.quota(m, k) > 0 ? 1 : 0;
+      }
+    }
+  }
+  previous_placement_ = placement_;
+  have_previous_ = true;
+  last_epoch_ = epoch;
+
+  emit_metrics(report);
+
+  report_.slots.push_back(report);
+  report_.invocations += report.invocations;
+  report_.requests_completed += report.requests_completed;
+  report_.slo_met += report.slo_met;
+  report_.cold_serves += report.cold_serves;
+  report_.classes_total += report.classes;
+  report_.classes_recomputed += report.classes_recomputed;
+  switch (report.mode) {
+    case SlotMode::kCarried: ++report_.carried_slots; break;
+    case SlotMode::kIncremental: ++report_.incremental_slots; break;
+    case SlotMode::kReplan: ++report_.replans; break;
+  }
+  report_.churn_instances += report.placement_churn;
+  report_.churn_cost += report.churn_cost;
+  report_.prewarm_ahead_hits += report.prewarm_ahead_hits;
+  report_.control_s_total += report.control_s;
+  return report;
+}
+
+void ServingLoop::emit_metrics(const SlotReport& report) {
+  obs::ObsSink* const sink = config_.sink;
+  if (sink == nullptr) return;
+  sink->add_counter("socl.serve.slots", 1);
+  switch (report.mode) {
+    case SlotMode::kCarried:
+      sink->add_counter("socl.serve.carried_slots", 1);
+      break;
+    case SlotMode::kIncremental:
+      sink->add_counter("socl.serve.incremental_slots", 1);
+      break;
+    case SlotMode::kReplan:
+      sink->add_counter("socl.serve.replans", 1);
+      break;
+  }
+  sink->add_counter("socl.serve.classes_total", report.classes);
+  sink->add_counter("socl.serve.classes_recomputed",
+                    report.classes_recomputed);
+  sink->add_counter("socl.serve.classes_carried", report.classes_carried);
+  sink->add_counter("socl.serve.invocations", report.invocations);
+  sink->add_counter("socl.serve.requests", report.requests_completed);
+  sink->add_counter("socl.serve.slo_met", report.slo_met);
+  sink->add_counter("socl.serve.churn_instances", report.placement_churn);
+  sink->add_counter("socl.serve.prewarm_ahead_hits",
+                    report.prewarm_ahead_hits);
+  sink->set_gauge("socl.serve.slo_attainment", report.slo_attainment);
+  sink->set_gauge("socl.serve.cold_start_rate", report.cold_start_rate);
+  sink->set_gauge("socl.serve.churn_cost", report.churn_cost);
+  sink->set_gauge("socl.serve.objective", report.objective);
+  sink->observe("socl.serve.control_latency_s", report.control_s);
+}
+
+ServingReport ServingLoop::run() {
+  while (slot_ < config_.slots) step();
+  return report_;
+}
+
+}  // namespace socl::serve

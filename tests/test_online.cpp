@@ -124,6 +124,82 @@ TEST(OnlineSoCLTest, ResetForgetsState) {
   EXPECT_TRUE(stats.full_resolve);
 }
 
+TEST(OnlineSoCLTest, PeriodZeroNeverFullResolvesAfterTheFirstSlot) {
+  // full_resolve_period = 0 means "never": no periodic re-solve AND no
+  // periodic staleness comparison (max(1, 0/3) == 1 would otherwise run a
+  // fresh comparison solve every slot and flip on any stale warm start).
+  // Even under heavy per-slot demand shifts, only the slot-1 cold start may
+  // be a full resolve as long as the warm repair stays feasible.
+  auto scenario = make_scenario(base_config(8, 40), 21);
+  util::Rng rng(22);
+  util::Rng wrng(23);
+  const auto weights = workload::attachment_weights(
+      scenario.network().num_nodes(), {}, wrng);
+  workload::MobilityConfig churny;
+  churny.move_prob = 0.9;
+  churny.local_hop_prob = 0.1;
+  OnlineParams params;
+  params.full_resolve_period = 0;
+  OnlineSoCL online(params);
+  OnlineStepStats stats;
+  online.step(scenario, &stats);
+  EXPECT_TRUE(stats.full_resolve);
+  for (int slot = 2; slot <= 9; ++slot) {
+    auto requests = scenario.requests();
+    workload::mobility_step(scenario.network(), requests, weights, churny,
+                            rng);
+    scenario.set_requests(std::move(requests));
+    online.step(scenario, &stats);
+    EXPECT_TRUE(stats.warm_start_used) << "slot " << slot;
+    EXPECT_FALSE(stats.full_resolve) << "slot " << slot;
+  }
+}
+
+TEST(OnlineSoCLTest, EqualObjectivesKeepTheWarmPlacementOnGuardSlots) {
+  // The staleness comparison is strict (fresh · threshold < warm): on a
+  // static scenario, where the warm start converges to (at least) the fresh
+  // solve's objective, guard slots must keep the warm placement — ties
+  // never churn instances back to the fresh solution.
+  auto scenario = make_scenario(base_config(), 24);
+  OnlineParams params;
+  params.full_resolve_period = 12;  // guard cadence: every 4th slot
+  OnlineSoCL online(params);
+  online.step(scenario);
+  OnlineStepStats stats;
+  for (int slot = 2; slot <= 8; ++slot) {
+    online.step(scenario, &stats);
+    EXPECT_TRUE(stats.warm_start_used) << "slot " << slot;
+    EXPECT_FALSE(stats.full_resolve) << "slot " << slot;
+    if (slot >= 3) {
+      EXPECT_EQ(stats.churn, 0) << "slot " << slot;
+    }
+  }
+}
+
+TEST(OnlineSoCLTest, ThresholdAtMostOneDisablesTheStalenessGuard) {
+  // resolve_threshold <= 1.0 turns the guard off entirely: no comparison
+  // solve runs, so even on guard-cadence slots the warm start is kept.
+  auto scenario = make_scenario(base_config(8, 40), 25);
+  util::Rng rng(26);
+  util::Rng wrng(27);
+  const auto weights = workload::attachment_weights(
+      scenario.network().num_nodes(), {}, wrng);
+  OnlineParams params;
+  params.resolve_threshold = 1.0;
+  params.full_resolve_period = 30;  // guard cadence 10; no periodic in range
+  OnlineSoCL online(params);
+  online.step(scenario);
+  OnlineStepStats stats;
+  for (int slot = 2; slot <= 11; ++slot) {
+    auto requests = scenario.requests();
+    workload::mobility_step(scenario.network(), requests, weights, {}, rng);
+    scenario.set_requests(std::move(requests));
+    online.step(scenario, &stats);
+    EXPECT_TRUE(stats.warm_start_used) << "slot " << slot;
+    EXPECT_FALSE(stats.full_resolve) << "slot " << slot;
+  }
+}
+
 TEST(OnlineSoCLTest, ObjectiveStaysNearFreshSolve) {
   // Warm-started decisions must not drift far from what a from-scratch
   // solve achieves on the same slot.

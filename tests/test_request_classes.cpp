@@ -159,5 +159,76 @@ TEST(RequestClasses, ScenarioExposesClassesAndEpoch) {
   EXPECT_GE(scenario.classes().compression_ratio(), 4.0);
 }
 
+TEST(RequestClasses, UnchangedWorkloadKeepsTheEpoch) {
+  // Epoch hygiene (the serving loop's carried-slot fast path): replacing
+  // the requests with an element-wise identical workload must not bump the
+  // workload epoch — per-class route caches keyed on it stay valid and no
+  // reindex runs.
+  core::ScenarioConfig config;
+  config.num_nodes = 6;
+  config.num_users = 12;
+  auto scenario = core::make_scenario(config, 33);
+  const auto epoch = scenario.workload_epoch();
+
+  scenario.set_requests(scenario.requests());  // identical copy
+  EXPECT_EQ(scenario.workload_epoch(), epoch);
+
+  // A mobility slot where nobody moved is the same no-op.
+  auto requests = scenario.requests();
+  scenario.set_requests(std::move(requests));
+  EXPECT_EQ(scenario.workload_epoch(), epoch);
+}
+
+TEST(RequestClasses, SingleMovedUserBumpsTheEpoch) {
+  core::ScenarioConfig config;
+  config.num_nodes = 6;
+  config.num_users = 12;
+  auto scenario = core::make_scenario(config, 34);
+  const auto epoch = scenario.workload_epoch();
+
+  auto requests = scenario.requests();
+  const net::NodeId moved_to = (requests[0].attach_node + 1) % 6;
+  requests[0].attach_node = moved_to;
+  scenario.set_requests(std::move(requests));
+  EXPECT_EQ(scenario.workload_epoch(), epoch + 1);
+  // The rebuilt indices reflect the move.
+  EXPECT_EQ(scenario.classes().num_users(), 12);
+  const auto& at_new_node = scenario.users_at(moved_to);
+  EXPECT_NE(std::find(at_new_node.begin(), at_new_node.end(), 0),
+            at_new_node.end());
+}
+
+TEST(RequestClasses, AnyDemandTupleChangeBumpsTheEpoch) {
+  core::ScenarioConfig config;
+  config.num_nodes = 6;
+  config.num_users = 8;
+  auto scenario = core::make_scenario(config, 35);
+
+  // Deadline is part of the Eq. 2/4 tuple even though it does not affect
+  // the demand indices — a deadline-only change must still reindex.
+  auto epoch = scenario.workload_epoch();
+  auto requests = scenario.requests();
+  requests[3].deadline += 1.0;
+  scenario.set_requests(std::move(requests));
+  EXPECT_EQ(scenario.workload_epoch(), epoch + 1);
+
+  // Payload changes count too.
+  epoch = scenario.workload_epoch();
+  requests = scenario.requests();
+  requests[0].data_in += 0.5;
+  scenario.set_requests(std::move(requests));
+  EXPECT_EQ(scenario.workload_epoch(), epoch + 1);
+
+  // A different length is trivially a change.
+  epoch = scenario.workload_epoch();
+  requests = scenario.requests();
+  requests.pop_back();
+  for (std::size_t h = 0; h < requests.size(); ++h) {
+    requests[h].id = static_cast<int>(h);
+  }
+  scenario.set_requests(std::move(requests));
+  EXPECT_EQ(scenario.workload_epoch(), epoch + 1);
+}
+
 }  // namespace
 }  // namespace socl::workload

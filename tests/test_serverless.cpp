@@ -4,9 +4,13 @@
 // configuration, and the scaling policies.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/partition.h"
+#include "core/preprovision.h"
 #include "core/routing.h"
+#include "net/topology.h"
 #include "serverless/arrivals.h"
 #include "serverless/policy.h"
 #include "serverless/runtime.h"
@@ -288,6 +292,90 @@ TEST(Policy, SoclPrewarmQuotaFollowsPreprovisioning) {
     }
   }
   EXPECT_GT(total_quota, 0);
+}
+
+TEST(Policy, SoclPrewarmQuotaReproducesAlgorithm2) {
+  // The quota map must be exactly the Algorithm 2 pre-provisioning
+  // placement (one warm container per ε_s(m)·N̄(m) selected host), and per
+  // microservice it can never exceed the instance bound N̄(m).
+  for (const std::uint64_t seed : {41ULL, 42ULL, 43ULL}) {
+    const Fixture fx(seed, 8, 20);
+    const SoCLPrewarmPolicy policy(fx.scenario);
+    const auto partitioning =
+        core::initial_partition(fx.scenario, core::PartitionConfig{});
+    const auto pre = core::preprovision(fx.scenario, partitioning);
+    for (MsId m = 0; m < fx.scenario.num_microservices(); ++m) {
+      int quota_sum = 0;
+      for (NodeId k = 0; k < fx.scenario.num_nodes(); ++k) {
+        EXPECT_EQ(policy.quota(m, k), pre.placement.deployed(m, k) ? 1 : 0)
+            << "seed " << seed << " m=" << m << " k=" << k;
+        quota_sum += policy.quota(m, k);
+      }
+      EXPECT_LE(quota_sum, pre.bound[static_cast<std::size_t>(m)])
+          << "seed " << seed << " m=" << m;
+      if (!fx.scenario.demand_nodes(m).empty()) {
+        EXPECT_GT(quota_sum, 0) << "seed " << seed << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(Policy, SoclPrewarmZeroDemandServiceHasNoQuota) {
+  // Two users whose chains skip microservice 1 entirely: Algorithm 2 must
+  // assign it no pre-warm quota anywhere, and the policy must neither open
+  // nor restore containers for it.
+  net::TopologyConfig topo;
+  topo.num_nodes = 4;
+  auto network = net::make_topology(topo, 5);
+  std::vector<workload::UserRequest> requests;
+  for (int h = 0; h < 2; ++h) {
+    workload::UserRequest request;
+    request.id = h;
+    request.attach_node = h;
+    request.chain = {0, 2};
+    request.edge_data = {2.0};
+    request.deadline = 100.0;
+    requests.push_back(request);
+  }
+  const core::Scenario scenario(std::move(network), workload::tiny_catalog(),
+                                std::move(requests), core::ProblemConstants{});
+  const SoCLPrewarmPolicy policy(scenario);
+  core::Placement everywhere(scenario);
+  for (MsId m = 0; m < scenario.num_microservices(); ++m) {
+    for (NodeId k = 0; k < scenario.num_nodes(); ++k) everywhere.deploy(m, k);
+  }
+  for (NodeId k = 0; k < scenario.num_nodes(); ++k) {
+    EXPECT_EQ(policy.quota(1, k), 0);
+    EXPECT_EQ(policy.initial_warm(scenario, everywhere, k, 1), 0);
+    EXPECT_EQ(policy.warm_floor(scenario, k, 1), 0);
+  }
+}
+
+TEST(Policy, SoclPrewarmQuotaStaysInsidePartitionGroups) {
+  // Algorithm 2 only selects hosts from Algorithm 1's groups — demand
+  // nodes V(m) plus validated candidate augmentations. Any node outside a
+  // microservice's group membership must carry zero quota, and its warm
+  // floor stays 0 even if the measured placement deploys there.
+  const Fixture fx(44, 8, 12);
+  const SoCLPrewarmPolicy policy(fx.scenario);
+  const auto partitioning =
+      core::initial_partition(fx.scenario, core::PartitionConfig{});
+  for (MsId m = 0; m < fx.scenario.num_microservices(); ++m) {
+    const auto& groups =
+        partitioning.per_ms[static_cast<std::size_t>(m)].groups;
+    std::vector<bool> member(
+        static_cast<std::size_t>(fx.scenario.num_nodes()), false);
+    for (const auto& group : groups) {
+      for (const NodeId k : group) member[static_cast<std::size_t>(k)] = true;
+    }
+    for (NodeId k = 0; k < fx.scenario.num_nodes(); ++k) {
+      if (!member[static_cast<std::size_t>(k)]) {
+        EXPECT_EQ(policy.quota(m, k), 0) << "m=" << m << " k=" << k;
+        EXPECT_EQ(policy.warm_floor(fx.scenario, k, m), 0)
+            << "m=" << m << " k=" << k;
+      }
+    }
+  }
 }
 
 TEST(Runtime, RejectsInvalidConfig) {
