@@ -27,9 +27,16 @@ SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 PATH_ROOTS = ("src", "docs", "tests", "bench", "examples", "scripts")
 
 
+def skipped(part: str) -> bool:
+    # Any build tree (build, build-asan, build-ubsan, ...) and dot-dirs.
+    return part.startswith("build") or part.startswith(".")
+
+
 def markdown_files():
+    """Every tracked-looking *.md under the repo root, recursively — the
+    top-level docs plus docs/, examples/, tests/, and any future subtree."""
     for path in sorted(REPO_ROOT.rglob("*.md")):
-        if "build" in path.parts or ".git" in path.parts:
+        if any(skipped(part) for part in path.relative_to(REPO_ROOT).parts):
             continue
         yield path
 

@@ -112,6 +112,16 @@ class Scenario {
   /// demand tuple is unchanged (exact comparison, not fingerprints).
   void set_requests(std::vector<workload::UserRequest> requests);
 
+  /// Replaces the optimization constants (λ, K^max, latency weight). No
+  /// derived index depends on them — routing tables, virtual links, and the
+  /// demand indices are pure functions of the network and the workload — so
+  /// this is O(1) and never bumps the workload epoch. The geo-sharded
+  /// decomposition solver re-prices its sub-problems through this seam
+  /// (dual ascent on the budget multiplier, DESIGN.md §4j).
+  void set_constants(const ProblemConstants& constants) {
+    constants_ = constants;
+  }
+
  private:
   /// True when `requests` matches requests_ element-wise on (id, demand
   /// tuple) — the condition under which every derived index stays valid.

@@ -1,0 +1,116 @@
+// Shard plans and sub-problem extraction for the geo-sharded decomposition
+// solver (DESIGN.md §4j).
+//
+// A ShardPlan is a partition of the substrate nodes into disjoint shards
+// (metros, or Alg.-1-style regions). ShardProblem extracts one shard as a
+// fully independent core::Scenario: the induced sub-network (nodes in
+// ascending global id order, links in global insertion order, rates copied
+// verbatim so BFS tables and virtual-link rates reproduce the global ones
+// restricted to the shard), the users attached inside the shard (ids
+// remapped to a dense local range, attach nodes remapped), and a copy of
+// the problem constants the coordinator re-prices per dual-ascent iteration
+// through Scenario::set_constants.
+//
+// Everything the solver stack derives per shard — request classes, route
+// caches, SoA buffers, scoring arenas — lives inside that shard's Scenario /
+// Combiner and is never shared across shards: shard solves are embarrassingly
+// parallel by construction.
+//
+// The extraction is lossless for the degenerate one-shard plan: local ids
+// equal global ids, the sub-network reproduces the global network link for
+// link, and a solve of the extracted scenario is bit-identical to a solve of
+// the original (the single-shard identity lane of test_shard and
+// `bench_shard --check` enforce this).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/placement.h"
+#include "core/scenario.h"
+
+namespace socl::shard {
+
+/// Disjoint node partition: shard_of[node] in [0, num_shards()).
+struct ShardPlan {
+  std::vector<int> shard_of;
+  /// nodes[s]: global node ids of shard s, ascending.
+  std::vector<std::vector<net::NodeId>> nodes;
+
+  int num_shards() const { return static_cast<int>(nodes.size()); }
+};
+
+/// The trivial plan: every node in one shard (the unsharded solver's view).
+ShardPlan single_shard_plan(const core::Scenario& scenario);
+
+/// One shard per metro from a multi-metro membership map
+/// (net::MultiMetroTopology::metro_of). Throws if a metro is empty.
+ShardPlan plan_from_metros(const std::vector<int>& metro_of, int metros);
+
+/// One shard per connected component of the network with `cut_links`
+/// removed — the Alg.-1-flavoured derivation: cutting the backhaul class
+/// recovers the metros, cutting nothing yields components as-is.
+ShardPlan plan_from_components(const net::EdgeNetwork& network,
+                               std::span<const net::LinkId> cut_links);
+
+/// One extracted shard: an independent Scenario plus the id maps back into
+/// the global problem.
+class ShardProblem {
+ public:
+  /// Extracts shard `shard` of `plan` from the global scenario. The global
+  /// scenario's catalog must outlive this object (the sub-scenario holds a
+  /// reference to the same catalog).
+  ShardProblem(const core::Scenario& global, const ShardPlan& plan, int shard);
+
+  core::Scenario& scenario() { return scenario_; }
+  const core::Scenario& scenario() const { return scenario_; }
+
+  int shard_index() const { return shard_; }
+  int num_users() const { return static_cast<int>(local_to_global_user_.size()); }
+
+  net::NodeId to_global_node(net::NodeId local) const {
+    return local_to_global_node_[static_cast<std::size_t>(local)];
+  }
+  int to_global_user(int local) const {
+    return local_to_global_user_[static_cast<std::size_t>(local)];
+  }
+
+  /// Replaces the shard's workload with the subset of `requests` attached
+  /// inside the shard (callers pass the *global* request vector; extraction
+  /// and id remapping follow the same ascending-global-id rule as the
+  /// constructor). Returns true when the shard's workload epoch moved —
+  /// i.e. at least one member's demand tuple actually changed — which is
+  /// the coordinator's per-shard incremental trigger.
+  bool set_requests(const std::vector<workload::UserRequest>& requests);
+
+  /// Minimal feasible spend: Σ κ(m) over microservices appearing in any of
+  /// the shard's chains (each must be deployed at least once for the shard
+  /// to be routable). The quota-negotiation floor.
+  double min_feasible_spend() const;
+
+  /// Folds the shard's placement into the global one.
+  void merge_placement(const core::Placement& local,
+                       core::Placement& global) const;
+  /// Folds the shard's assignment into the global one (routes remapped to
+  /// global node ids; scratch reused across calls).
+  void merge_assignment(const core::Assignment& local,
+                        core::Assignment& global) const;
+
+ private:
+  /// Extracts and remaps the shard-local subset of a global request vector.
+  std::vector<workload::UserRequest> localize(
+      const std::vector<workload::UserRequest>& requests);
+
+  int shard_ = 0;
+  std::vector<net::NodeId> local_to_global_node_;
+  std::vector<net::NodeId> global_to_local_node_;  ///< kInvalidNode outside
+  std::vector<int> local_to_global_user_;
+  core::Scenario scenario_;
+};
+
+/// Extracts every shard of the plan (ascending shard index). Shards with no
+/// attached users are still extracted (their solve is trivial).
+std::vector<ShardProblem> extract_shards(const core::Scenario& global,
+                                         const ShardPlan& plan);
+
+}  // namespace socl::shard
