@@ -58,6 +58,11 @@ struct CliOptions {
   double drift_prob = 0.02;
   double slot_horizon_s = 30.0;
   std::string serve_csv;  // per-slot series path ("" = off)
+  // Multi-metro serving: --nodes becomes nodes *per metro*; --sharded routes
+  // replan slots through the geo-sharded coordinator (shard::ShardedSoCL).
+  int metros = 0;
+  bool sharded = false;
+  double cross_metro_prob = 0.0;
 };
 
 void print_usage() {
@@ -88,6 +93,12 @@ serving mode (DESIGN.md §4i):
   --horizon S        DES horizon per slot in seconds (default 30)
   --serve-csv F      write the per-slot serving series as CSV
                      (--validate turns on the full-reroute cross-check lane)
+  --metros N         serve on a stitched multi-metro substrate of N metros
+                     (--nodes then counts edge servers *per metro*)
+  --sharded          route replan slots through the geo-sharded coordinator
+                     (one shard per metro; requires --metros)
+  --cross-metro X    per-user per-slot probability of re-homing to another
+                     metro (requires --metros >= 2)
   --help             this text
 )";
 }
@@ -167,6 +178,16 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
         const char* v = next_value();
         if (!v) return false;
         options.slot_horizon_s = std::stod(v);
+      } else if (arg == "--metros") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.metros = std::stoi(v);
+      } else if (arg == "--sharded") {
+        options.sharded = true;
+      } else if (arg == "--cross-metro") {
+        const char* v = next_value();
+        if (!v) return false;
+        options.cross_metro_prob = std::stod(v);
       } else if (arg == "--serve-csv") {
         const char* v = next_value();
         if (!v) return false;
@@ -220,12 +241,20 @@ int run_serving(const CliOptions& options, obs::Recorder* recorder) {
   config.cross_check = options.validate;
   config.seed = options.seed;
   config.sink = recorder;
+  config.metros = options.metros;
+  config.sharded = options.sharded;
+  config.cross_metro_prob = options.cross_metro_prob;
 
   const int population =
       config.population > 0 ? config.population : options.users;
-  std::cout << "serving day: " << options.nodes << " nodes, " << population
-            << " users over " << options.users << " templates, catalog "
-            << options.catalog << ", " << options.slots << " slots"
+  std::cout << "serving day: " << options.nodes << " nodes";
+  if (options.metros > 0) {
+    std::cout << "/metro x " << options.metros << " metros"
+              << (options.sharded ? " (sharded control plane)" : "");
+  }
+  std::cout << ", " << population << " users over " << options.users
+            << " templates, catalog " << options.catalog << ", "
+            << options.slots << " slots"
             << (options.validate ? " (cross-check lane on)" : "") << "\n\n";
   if (options.topology != "geometric") {
     std::cout << "note: --serve uses the scenario factory substrate; "

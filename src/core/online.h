@@ -59,6 +59,18 @@ class OnlineSoCL {
   /// Forgets the carried placement (e.g. after a topology change).
   void reset() { previous_.reset(); slot_ = 0; }
 
+  /// Adopts `placement` as the carried slot-to-slot state, as if `slots_taken`
+  /// steps had already produced it: the next step() warm-starts from it with
+  /// the periodic-resolve cadence counted from that point. The sharded
+  /// serving seam (src/serve/ + src/shard/) re-seeds each shard's online
+  /// rung from the coordinator's accepted per-shard placement after every
+  /// full priced solve, so incremental rungs continue exactly where the
+  /// coordinated solve left off.
+  void adopt(Placement placement, int slots_taken = 1) {
+    previous_ = std::move(placement);
+    slot_ = slots_taken;
+  }
+
   const OnlineParams& params() const { return params_; }
 
  private:

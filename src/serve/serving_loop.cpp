@@ -49,6 +49,35 @@ std::uint64_t demand_fingerprint(
   return h;
 }
 
+/// Scenario factory for the serving loop: the single-substrate path defers
+/// to core::make_scenario verbatim; metros > 0 swaps the substrate for a
+/// stitched multi-metro topology (same per-metro generator parameters, same
+/// request-generation seed schedule) and reports the metro membership map.
+core::Scenario make_serving_scenario(const ServingConfig& config,
+                                     std::vector<int>& metro_of) {
+  if (config.metros <= 0) {
+    return core::make_scenario(config.scenario, config.seed);
+  }
+  net::MultiMetroConfig mm = config.multi_metro;
+  mm.metros = config.metros;
+  mm.metro = config.scenario.topology;
+  mm.metro.num_nodes = config.scenario.num_nodes;
+  net::MultiMetroTopology topo = net::make_multi_metro(mm, config.seed);
+  metro_of = topo.metro_of;
+
+  const auto& catalog =
+      config.scenario.catalog != nullptr
+          ? *config.scenario.catalog
+          : (config.scenario.use_tiny_catalog ? workload::tiny_catalog()
+                                              : workload::eshop_catalog());
+  workload::RequestGenConfig reqs = config.scenario.requests;
+  reqs.num_users = config.scenario.num_users;
+  auto requests = workload::generate_requests(topo.network, catalog, reqs,
+                                              config.seed ^ 0x5eedULL);
+  return core::Scenario(std::move(topo.network), catalog, std::move(requests),
+                        config.scenario.constants);
+}
+
 }  // namespace
 
 const char* slot_mode_name(SlotMode mode) {
@@ -126,18 +155,30 @@ std::string ServingReport::summary() const {
       << " cold_rate=" << cold_start_rate() << " churn=" << churn_instances
       << " churn_cost=" << churn_cost
       << " prewarm_hits=" << prewarm_ahead_hits;
+  if (shards_resolved > 0 || reprices > 0) {
+    out << " shards_resolved=" << shards_resolved
+        << " reprices=" << reprices;
+  }
   return out.str();
 }
 
 ServingLoop::ServingLoop(ServingConfig config)
     : config_(std::move(config)),
-      scenario_(core::make_scenario(config_.scenario, config_.seed)),
+      scenario_(make_serving_scenario(config_, metro_of_)),
       mobility_rng_(config_.seed ^ 0x6d0b111e57a75ULL),
       drift_rng_(config_.seed ^ 0xd21f7a57e5ULL),
+      cross_metro_rng_(config_.seed ^ 0xc2055e7a11edULL),
       online_(config_.online),
       placement_(scenario_),
       previous_placement_(scenario_),
       assignment_(scenario_) {
+  if (config_.cross_metro_prob > 0.0 && config_.metros <= 1) {
+    throw std::invalid_argument(
+        "ServingLoop: cross_metro_prob needs metros > 1");
+  }
+  if (config_.sharded && config_.metros < 1) {
+    throw std::invalid_argument("ServingLoop: sharded mode needs metros >= 1");
+  }
   templates_ = scenario_.requests();
   if (templates_.empty()) {
     throw std::invalid_argument("ServingLoop: empty template workload");
@@ -149,11 +190,39 @@ ServingLoop::ServingLoop(ServingConfig config)
     assignment_ = core::Assignment(scenario_);
   }
 
+  if (config_.sharded) {
+    // One shard per metro, coordinated through the global Eq. 5 budget.
+    // The per-shard solver and warm-rung parameters mirror the legacy
+    // OnlineSoCL configuration exactly, so the one-metro sharded day is
+    // the unsharded day run through the shard machinery.
+    shard::ShardedParams sp = config_.shard;
+    sp.solver = config_.online.socl;
+    sp.online = config_.online;
+    sp.warm_serving = true;
+    sp.sink = config_.sink;
+    sharded_ = std::make_unique<shard::ShardedSoCL>(
+        scenario_, shard::plan_from_metros(metro_of_, config_.metros), sp);
+  }
+
   // The mobility model keeps the generator's hotspot bias, as in slot_sim.
   util::Rng weight_rng(config_.seed ^ 0xabcdULL);
   weights_ = workload::attachment_weights(scenario_.network().num_nodes(),
                                           config_.scenario.requests,
                                           weight_rng);
+
+  if (config_.metros > 1) {
+    // Per-metro views of the hotspot weights: the cross-metro re-homing
+    // process picks its target attach node from the destination metro's
+    // slice of the same weight vector the intra-metro mobility uses.
+    metro_nodes_.resize(static_cast<std::size_t>(config_.metros));
+    metro_weights_.resize(static_cast<std::size_t>(config_.metros));
+    for (net::NodeId k = 0; k < scenario_.num_nodes(); ++k) {
+      const auto m = static_cast<std::size_t>(
+          metro_of_[static_cast<std::size_t>(k)]);
+      metro_nodes_[m].push_back(k);
+      metro_weights_[m].push_back(weights_[static_cast<std::size_t>(k)]);
+    }
+  }
 
   // Diurnal + bursty day profile, normalised to mean 1 over the configured
   // slots so diurnal_amplitude scales deviation without changing the day's
@@ -189,6 +258,26 @@ void ServingLoop::advance_workload() {
   auto requests = scenario_.requests();
   workload::mobility_step(scenario_.network(), requests, weights_,
                           config_.mobility, mobility_rng_);
+  if (config_.cross_metro_prob > 0.0 && config_.metros > 1) {
+    // Cross-metro re-homing: a commuter leaves its metro entirely and
+    // re-attaches at a hotspot-weighted node of a uniformly-picked *other*
+    // metro — the churn that moves users between shards. Every user
+    // consumes the same RNG draws regardless of outcome (determinism, as
+    // in the drift loop below).
+    for (auto& request : requests) {
+      const bool moves = cross_metro_rng_.bernoulli(config_.cross_metro_prob);
+      const auto hop = static_cast<int>(cross_metro_rng_.index(
+          static_cast<std::size_t>(config_.metros - 1)));
+      const int current =
+          metro_of_[static_cast<std::size_t>(request.attach_node)];
+      const int target = hop >= current ? hop + 1 : hop;
+      const std::size_t local = cross_metro_rng_.weighted_index(
+          metro_weights_[static_cast<std::size_t>(target)]);
+      if (!moves) continue;
+      request.attach_node =
+          metro_nodes_[static_cast<std::size_t>(target)][local];
+    }
+  }
   if (config_.drift_prob > 0.0 && templates_.size() > 1) {
     // Workload drift: a drifting user swaps to another template's demand
     // tuple but keeps its id and attachment, so the class count stays
@@ -271,9 +360,11 @@ SlotReport ServingLoop::step() {
   const double total_weight = std::max(1.0, classes.total_weight());
 
   bool replan = !have_previous_;
+  bool periodic_replan = false;
   if (config_.full_replan_period > 0 && slot_ > 1 &&
       (slot_ - 1) % config_.full_replan_period == 0) {
     replan = true;
+    periodic_replan = true;
   }
 
   // Diff this slot's classes against the carried route cache: a class whose
@@ -354,6 +445,48 @@ SlotReport ServingLoop::step() {
     } else {
       replan = true;
     }
+  }
+
+  if (!done && sharded_ != nullptr) {
+    // Sharded replan: feed the slot's workload delta to the coordinator —
+    // only the shards whose sub-workload (or membership) moved re-run their
+    // warm rung at the frozen budget price; a global re-price happens only
+    // on budget drift or breach. Periodic replans force every rung so each
+    // shard keeps the legacy staleness-check cadence. Only the merged
+    // *placement* is adopted: the serving cache re-routes every class
+    // globally below, so a route free to cross the backhaul is found when
+    // it wins, and the cross-check lane's full-re-route equality holds by
+    // construction (one metro: per-shard routes equal global routes, so
+    // this reproduces the unsharded day bit for bit).
+    const shard::ShardedSoCL::StepReport shard_step =
+        sharded_->step(scenario_.requests(), periodic_replan);
+    report.shards_resolved = shard_step.shards_resolved;
+    report.repriced = shard_step.repriced;
+    if (!shard_step.solution.assignment) {
+      throw std::runtime_error(
+          "ServingLoop: sharded replan left the slot unroutable (slot " +
+          std::to_string(slot_) + ")");
+    }
+    placement_ = shard_step.solution.placement;
+    const core::ChainRouter router(scenario_);
+    assignment_ = core::Assignment(scenario_);
+    for (int c = 0; c < classes.num_classes(); ++c) {
+      const workload::UserRequest& rep =
+          scenario_.request(classes.cls(c).representative);
+      auto routed = router.route(rep, placement_, scratch_);
+      if (!routed) {
+        throw std::runtime_error(
+            "ServingLoop: merged sharded placement unroutable (slot " +
+            std::to_string(slot_) + ")");
+      }
+      for (const int member : classes.cls(c).members) {
+        assignment_.set_user_route(member, routed->nodes);
+      }
+    }
+    rebuild_cache_from_assignment();
+    report.mode = SlotMode::kReplan;
+    report.classes_recomputed = classes.num_classes();
+    done = true;
   }
 
   if (!done) {
@@ -453,17 +586,57 @@ SlotReport ServingLoop::step() {
         }
       }
     }
-    const auto metrics =
-        runtime.run(placement_, assignment_, arrivals, policy,
-                    arrival_config.seed ^ 0x5E71E55ULL,
-                    have_previous_ ? &carried : nullptr);
-    report.invocations = metrics.totals.invocations;
-    report.cold_serves = metrics.totals.cold_serves;
-    report.requests_completed =
-        static_cast<std::int64_t>(metrics.requests.size());
-    for (const serverless::RequestOutcome& outcome : metrics.requests) {
-      if (outcome.total_s() <= scenario_.request(outcome.user).deadline) {
-        ++report.slo_met;
+    const std::uint64_t des_seed = arrival_config.seed ^ 0x5E71E55ULL;
+    if (sharded_ != nullptr) {
+      // Per-metro serverless pools: each metro's control plane simulates
+      // its own DES window over its residents' slice of the global arrival
+      // stream (split preserves order and per-user streams, so the
+      // one-metro split is the unsharded stream verbatim). Metro 0 keeps
+      // the legacy seed; pool state is per run — a rare backhaul-crossing
+      // route invokes the remote instance under the caller metro's pool,
+      // modelling per-region serverless scaling.
+      std::vector<int> user_metro(
+          static_cast<std::size_t>(scenario_.num_users()), 0);
+      for (int h = 0; h < scenario_.num_users(); ++h) {
+        user_metro[static_cast<std::size_t>(h)] = metro_of_[
+            static_cast<std::size_t>(scenario_.request(h).attach_node)];
+      }
+      const auto groups = serverless::split_arrivals(
+          arrivals, user_metro, std::max(1, config_.metros));
+      for (int m = 0; m < std::max(1, config_.metros); ++m) {
+        const std::uint64_t metro_seed =
+            des_seed ^ (0xA24BAED4963EE407ULL * static_cast<std::uint64_t>(m));
+        const auto metrics = runtime.run(
+            placement_, assignment_, groups[static_cast<std::size_t>(m)],
+            policy, metro_seed, have_previous_ ? &carried : nullptr);
+        report.invocations += metrics.totals.invocations;
+        report.cold_serves += metrics.totals.cold_serves;
+        report.requests_completed +=
+            static_cast<std::int64_t>(metrics.requests.size());
+        for (const serverless::RequestOutcome& outcome : metrics.requests) {
+          if (outcome.total_s() <= scenario_.request(outcome.user).deadline) {
+            ++report.slo_met;
+          }
+        }
+        if (config_.sink != nullptr && metrics.totals.invocations > 0) {
+          config_.sink->observe(
+              "socl.serve.shard.metro_cold_rate",
+              static_cast<double>(metrics.totals.cold_serves) /
+                  static_cast<double>(metrics.totals.invocations));
+        }
+      }
+    } else {
+      const auto metrics =
+          runtime.run(placement_, assignment_, arrivals, policy, des_seed,
+                      have_previous_ ? &carried : nullptr);
+      report.invocations = metrics.totals.invocations;
+      report.cold_serves = metrics.totals.cold_serves;
+      report.requests_completed =
+          static_cast<std::int64_t>(metrics.requests.size());
+      for (const serverless::RequestOutcome& outcome : metrics.requests) {
+        if (outcome.total_s() <= scenario_.request(outcome.user).deadline) {
+          ++report.slo_met;
+        }
       }
     }
     report.slo_attainment =
@@ -510,6 +683,8 @@ SlotReport ServingLoop::step() {
   report_.churn_instances += report.placement_churn;
   report_.churn_cost += report.churn_cost;
   report_.prewarm_ahead_hits += report.prewarm_ahead_hits;
+  report_.shards_resolved += report.shards_resolved;
+  if (report.repriced) ++report_.reprices;
   report_.control_s_total += report.control_s;
   return report;
 }
@@ -543,6 +718,10 @@ void ServingLoop::emit_metrics(const SlotReport& report) {
   sink->set_gauge("socl.serve.cold_start_rate", report.cold_start_rate);
   sink->set_gauge("socl.serve.churn_cost", report.churn_cost);
   sink->set_gauge("socl.serve.objective", report.objective);
+  if (sharded_ != nullptr) {
+    sink->add_counter("socl.serve.shard.moved_shards", report.shards_resolved);
+    sink->add_counter("socl.serve.shard.reprices", report.repriced ? 1 : 0);
+  }
   sink->observe("socl.serve.control_latency_s", report.control_s);
 }
 

@@ -42,13 +42,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/online.h"
 #include "core/routing.h"
+#include "net/multi_metro.h"
 #include "serverless/runtime.h"
+#include "shard/sharded_solver.h"
 #include "util/rng.h"
 #include "workload/mobility.h"
 
@@ -71,6 +74,29 @@ struct ServingConfig {
   /// Substrate + template workload. `scenario.num_users` is the template
   /// count; the served population is `population` replicated users.
   core::ScenarioConfig scenario;
+  /// Multi-metro mode: when > 0 the substrate is a stitched multi-metro
+  /// topology (net::make_multi_metro) instead of `scenario.topology` —
+  /// `metros` metros of `scenario.num_nodes` nodes each, generated from
+  /// `scenario.topology` per metro, stitched per `multi_metro.backhaul`.
+  /// Catalog, request generation, and constants still come from `scenario`.
+  int metros = 0;
+  /// Spacing/backhaul parameters of the stitched substrate (its `metros`
+  /// and `metro` fields are overridden as described above).
+  net::MultiMetroConfig multi_metro;
+  /// Per-user per-slot probability of re-homing to a different metro
+  /// (weighted hotspot attachment inside the target metro) — the churn
+  /// process that moves users *between shards* through the dense per-shard
+  /// user remap. Requires metros > 1.
+  double cross_metro_prob = 0.0;
+  /// Route replan slots through shard::ShardedSoCL::step instead of the
+  /// single-address-space OnlineSoCL: per-metro warm rungs at the frozen
+  /// budget price, global re-price only on budget drift, per-metro DES
+  /// windows. Requires metros >= 1. With one metro the day is byte-identical
+  /// to the unsharded loop (test_serving pins it via CSV diff).
+  bool sharded = false;
+  /// Coordinator knobs for sharded mode. `solver`, `online`, warm_serving,
+  /// and sink are overridden from this config (single source of truth).
+  shard::ShardedParams shard;
   /// Aggregated users actually served (replicate_requests over the template
   /// workload; 0 keeps the template count). Request-class aggregation keeps
   /// the control plane O(templates × nodes) however large this is.
@@ -155,6 +181,10 @@ struct SlotReport {
   /// Cross-check lane results; -1 / true when the lane is disabled.
   int validator_violations = -1;
   bool full_reroute_matches = true;
+  /// Sharded-mode bookkeeping (0 / false outside sharded replans). Excluded
+  /// from the CSV so sharded and unsharded series stay column-comparable.
+  int shards_resolved = 0;
+  bool repriced = false;
   /// Wall-clock control-plane latency (workload ingest → assignment ready).
   /// The one non-deterministic field; excluded from the CSV series.
   double control_s = 0.0;
@@ -176,6 +206,9 @@ struct ServingReport {
   int churn_instances = 0;
   double churn_cost = 0.0;
   int prewarm_ahead_hits = 0;
+  /// Sharded-mode totals (0 when unsharded).
+  int shards_resolved = 0;
+  int reprices = 0;
   double control_s_total = 0.0;
 
   double slo_attainment() const;
@@ -208,6 +241,8 @@ class ServingLoop {
   const ServingConfig& config() const { return config_; }
   const core::Scenario& scenario() const { return scenario_; }
   const core::Placement& placement() const { return placement_; }
+  /// metro_of[node]; empty in single-substrate (metros == 0) mode.
+  const std::vector<int>& metro_of() const { return metro_of_; }
 
  private:
   struct CacheEntry {
@@ -225,13 +260,23 @@ class ServingLoop {
   double slot_intensity(int slot) const;
 
   ServingConfig config_;
+  /// metro_of[node] of the stitched substrate; filled before scenario_ in
+  /// the init list (declaration order matters) and empty when metros == 0.
+  std::vector<int> metro_of_;
   core::Scenario scenario_;
   std::vector<workload::UserRequest> templates_;
   std::vector<double> weights_;      ///< hotspot attachment weights
   std::vector<double> day_profile_;  ///< per-slot intensity multipliers
+  /// Per-metro node lists and hotspot weights (cross-metro re-homing picks
+  /// a weighted attach node inside the target metro). Empty when metros <= 1.
+  std::vector<std::vector<net::NodeId>> metro_nodes_;
+  std::vector<std::vector<double>> metro_weights_;
   util::Rng mobility_rng_;
   util::Rng drift_rng_;
+  util::Rng cross_metro_rng_;
   core::OnlineSoCL online_;
+  /// Sharded replan engine (null unless config.sharded).
+  std::unique_ptr<shard::ShardedSoCL> sharded_;
   core::RouteScratch scratch_;
 
   int slot_ = 0;

@@ -78,4 +78,25 @@ std::vector<Arrival> generate_arrivals(int num_users,
   return all;
 }
 
+std::vector<std::vector<Arrival>> split_arrivals(
+    std::span<const Arrival> arrivals, std::span<const int> group_of,
+    int groups) {
+  if (groups <= 0) {
+    throw std::invalid_argument("split_arrivals: groups <= 0");
+  }
+  std::vector<std::vector<Arrival>> out(static_cast<std::size_t>(groups));
+  for (const Arrival& arrival : arrivals) {
+    const std::size_t user = static_cast<std::size_t>(arrival.user);
+    if (user >= group_of.size()) {
+      throw std::out_of_range("split_arrivals: user without a group");
+    }
+    const int group = group_of[user];
+    if (group < 0 || group >= groups) {
+      throw std::invalid_argument("split_arrivals: group id out of range");
+    }
+    out[static_cast<std::size_t>(group)].push_back(arrival);
+  }
+  return out;
+}
+
 }  // namespace socl::serverless

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace socl::serverless {
@@ -48,5 +49,17 @@ std::vector<double> arrival_profile(const ArrivalConfig& config);
 /// (time, user, seq).
 std::vector<Arrival> generate_arrivals(int num_users,
                                        const ArrivalConfig& config);
+
+/// Partitions a merged stream into `groups` per-group streams by
+/// `group_of[arrival.user]`, preserving the (time, user, seq) order inside
+/// each group — so each group's stream is exactly the merged stream
+/// restricted to its users. The sharded serving loop splits the global day
+/// into per-metro DES windows through this seam; with one group the split
+/// returns the input stream verbatim. Throws std::out_of_range when a user
+/// id has no group entry and std::invalid_argument on a group id outside
+/// [0, groups).
+std::vector<std::vector<Arrival>> split_arrivals(
+    std::span<const Arrival> arrivals, std::span<const int> group_of,
+    int groups);
 
 }  // namespace socl::serverless

@@ -139,8 +139,18 @@ std::vector<workload::UserRequest> ShardProblem::localize(
 bool ShardProblem::set_requests(
     const std::vector<workload::UserRequest>& requests) {
   const std::uint64_t before = scenario_.workload_epoch();
+  // Membership changes are invisible to the scenario's positional
+  // unchanged-workload check: localize() always hands it dense local ids
+  // 0..n-1, so a user swap between shards (one leaves, an equal-tuple user
+  // enters) can leave the local workload positionally identical while
+  // local_to_global_user_ silently re-targets merge_assignment at different
+  // global users. Compare the remap itself so any membership change flags
+  // the shard as moved — both sides of a cross-shard move re-run their rung
+  // and the merged assignment never bills a user to its old shard.
+  const std::vector<int> members_before = local_to_global_user_;
   scenario_.set_requests(localize(requests));
-  return scenario_.workload_epoch() != before;
+  return scenario_.workload_epoch() != before ||
+         local_to_global_user_ != members_before;
 }
 
 double ShardProblem::min_feasible_spend() const {

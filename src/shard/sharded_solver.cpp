@@ -42,7 +42,19 @@ core::Solution empty_solution(const core::Scenario& scenario) {
 /// or exactly exhausted; the convergence certificate of the price search.
 double slackness_gap(double price, double spend, double budget,
                      double primal) {
-  return price * (budget - spend) / std::max(std::abs(primal), 1e-12);
+  const double residual = price * (budget - spend);
+  // A zero residual is exactly tight regardless of the primal: a free
+  // budget (μ = 0) or an exhausted one certifies itself. Checking it first
+  // keeps a zero-weight slot (primal 0, spend 0) at gap 0 instead of
+  // 0/ε noise, and a K = 0 instance at gap 0 instead of a spurious miss.
+  if (residual == 0.0) return 0.0;
+  // A non-finite residual or primal (unroutable iterate leaking +inf in)
+  // must read as "no certificate", never as NaN — NaN compares false
+  // against the tolerance and would silently disable convergence forever.
+  if (!std::isfinite(residual) || !std::isfinite(primal)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return residual / std::max(std::abs(primal), 1e-12);
 }
 
 }  // namespace
@@ -155,6 +167,12 @@ ShardedSolution ShardedSoCL::solve() {
   const int num_shards = static_cast<int>(shards_.size());
 
   double price = price_;  // re-prices resume from the frozen price
+  // Restart the diminishing-step schedule at the resumed price: without
+  // the reset a mid-day re-price would continue at initial_step/(1+t_old)
+  // — near zero after a converged solve — and stall below the new
+  // clearing price (the DualState satellite fix of ISSUE 9).
+  dual_.initial_step = params_.initial_step;
+  dual_.reset(price);
   price_trajectory_.clear();
   spend_trajectory_.clear();
   quotas_.reset();
@@ -182,10 +200,12 @@ ShardedSolution ShardedSoCL::solve() {
     double spend = 0.0;
     double latency = 0.0;
     bool routable = true;
+    bool storage = true;
     for (const auto& solution : iterate) {
       spend += solution.evaluation.deployment_cost;
       latency += solution.evaluation.total_latency;
       routable = routable && solution.evaluation.routable;
+      storage = storage && solution.evaluation.storage_ok;
     }
     // True-λ objective of this iterate. Exact for the recombined global
     // solution: per-shard routing equals global routing restricted to the
@@ -196,8 +216,14 @@ ShardedSolution ShardedSoCL::solve() {
     price_trajectory_.push_back(price);
     spend_trajectory_.push_back(spend);
 
+    // Eq. (6) gates acceptance like routability does: a shard has only its
+    // own nodes to host replicas on (the unsharded solver can spill to any
+    // metro), so a latency-greedy iterate can overflow per-node storage
+    // even under budget. Raising μ pushes λ' toward cost-minimisation,
+    // shedding replicas until the shard fits — the same price clears both
+    // capacity constraints.
     const bool feasible =
-        routable && spend <= budget + 1e-9 * std::max(1.0, budget);
+        routable && storage && spend <= budget + 1e-9 * std::max(1.0, budget);
     if (feasible) {
       feasible_above = std::min(feasible_above, price);
       if (primal < best_primal) {
@@ -231,13 +257,22 @@ ShardedSolution ShardedSoCL::solve() {
       break;
     }
     if (!have_feasible) {
-      // Pre-bracket ascent: a subgradient step with a geometric floor. At
-      // latency-dominated scale spend barely responds until λ' nears 1, so
-      // the price must be able to cross orders of magnitude quickly.
-      const double subgradient =
-          std::max((spend - budget) / std::max(budget, 1.0), 0.0);
-      price = std::max(price + params_.initial_step * subgradient,
-                       4.0 * price);
+      // Pre-bracket ascent: a subgradient step through the dual state with
+      // a geometric floor layered on top. At latency-dominated scale spend
+      // barely responds until λ' nears 1, so the price must be able to
+      // cross orders of magnitude quickly. The spend is clamped at the
+      // budget so an unroutable-but-underspending iterate never pulls μ
+      // down mid-ascent.
+      dual_.price = price;
+      const double stepped = dual_.update(std::max(spend, budget), budget);
+      price = std::max(stepped, 4.0 * price);
+      if (price <= 0.0) {
+        // Infeasible for a non-budget reason (storage overflow, unroutable
+        // shard) while underspending at μ = 0: the budget subgradient is
+        // zero and the geometric floor has nothing to grow, so kick the
+        // ascent — λ' must still rise before shards shed replicas.
+        price = 0.125 * params_.initial_step;
+      }
     } else if (feasible_above - infeasible_below <=
                1e-3 * std::max(1.0, feasible_above)) {
       break;  // bracket resolved; the remaining gap is spend granularity
@@ -290,10 +325,14 @@ ShardedSolution ShardedSoCL::solve() {
         slackness_gap(accepted_price, accepted_spend, budget, best_primal);
   }
   spend_at_price_ = 0.0;
+  storage_ok_at_price_ = true;
   for (const auto& solution : current_) {
     spend_at_price_ += solution.evaluation.deployment_cost;
+    storage_ok_at_price_ =
+        storage_ok_at_price_ && solution.evaluation.storage_ok;
   }
   solved_ = true;
+  reseed_rungs();
 
   ShardedSolution solution = recombine();
   solution.runtime_seconds = timer.elapsed_seconds();
@@ -301,13 +340,27 @@ ShardedSolution ShardedSoCL::solve() {
   return solution;
 }
 
+void ShardedSoCL::reseed_rungs() {
+  if (!params_.warm_serving) return;
+  if (online_rungs_.empty()) {
+    core::OnlineParams rung = params_.online;
+    rung.socl = params_.solver;
+    rung.socl.sink = nullptr;  // coordination metrics are emitted once
+    if (params_.shard_threads > 0) {
+      rung.socl.combination.threads = params_.shard_threads;
+    }
+    online_rungs_.assign(shards_.size(), core::OnlineSoCL(rung));
+  }
+  // Each rung carries the coordinated solve's accepted placement as if one
+  // slot had already produced it, so the next resolve_shard warm-starts
+  // exactly where the price search left off.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    online_rungs_[s].adopt(current_[s].placement, /*slots_taken=*/1);
+  }
+}
+
 void ShardedSoCL::resolve_shard(int s) {
   const core::ProblemConstants base = global_->constants();
-  core::SoCLParams shard_params = params_.solver;
-  shard_params.sink = nullptr;
-  if (params_.shard_threads > 0) {
-    shard_params.combination.threads = params_.shard_threads;
-  }
   ShardProblem& shard = shards_[static_cast<std::size_t>(s)];
   if (shard.num_users() == 0) {
     current_[static_cast<std::size_t>(s)] = empty_solution(shard.scenario());
@@ -321,18 +374,30 @@ void ShardedSoCL::resolve_shard(int s) {
   }
   shard.scenario().set_constants(constants);
   util::WallTimer timer;
-  current_[static_cast<std::size_t>(s)] =
-      core::SoCL(shard_params).solve(shard.scenario());
+  if (params_.warm_serving && !online_rungs_.empty()) {
+    // Warm rung: repair + polish of the shard's carried placement at the
+    // frozen price — the serving ladder's per-shard incremental rung.
+    current_[static_cast<std::size_t>(s)] =
+        online_rungs_[static_cast<std::size_t>(s)].step(shard.scenario());
+  } else {
+    core::SoCLParams shard_params = params_.solver;
+    shard_params.sink = nullptr;
+    if (params_.shard_threads > 0) {
+      shard_params.combination.threads = params_.shard_threads;
+    }
+    current_[static_cast<std::size_t>(s)] =
+        core::SoCL(shard_params).solve(shard.scenario());
+  }
   current_solve_s_[static_cast<std::size_t>(s)] = timer.elapsed_seconds();
 }
 
 ShardedSoCL::StepReport ShardedSoCL::step(
-    const std::vector<workload::UserRequest>& requests) {
+    const std::vector<workload::UserRequest>& requests, bool force_all) {
   std::vector<int> moved;
   for (int s = 0; s < num_shards(); ++s) {
-    if (shards_[static_cast<std::size_t>(s)].set_requests(requests)) {
-      moved.push_back(s);
-    }
+    const bool shard_moved =
+        shards_[static_cast<std::size_t>(s)].set_requests(requests);
+    if (shard_moved || force_all) moved.push_back(s);
   }
   if (!solved_) {
     obs::add_counter(params_.sink, "socl.shard.shards_resolved", num_shards());
@@ -345,14 +410,39 @@ ShardedSoCL::StepReport ShardedSoCL::step(
 
   const double budget = global_->constants().budget;
   double spend = 0.0;
+  bool storage_ok = true;
   for (const auto& solution : current_) {
     spend += solution.evaluation.deployment_cost;
+    storage_ok = storage_ok && solution.evaluation.storage_ok;
   }
-  const bool breach = spend > budget + 1e-9 * std::max(1.0, budget);
+  // Degenerate-slot guards (ISSUE 9 satellite): the drift test normalises
+  // by the budget, so K <= 0 (quota-driven instances price nothing) and
+  // zero-weight slots (nothing deployed now AND nothing priced in — an
+  // empty workload trough) must never force a spurious global re-price;
+  // NaN spend (poisoned upstream eval) must read as a breach, not slip
+  // through NaN's always-false comparisons.
+  const double scale = std::max(1.0, std::abs(budget));
+  const bool priceable = budget > 0.0;
+  const bool quiet = spend == 0.0 && spend_at_price_ == 0.0;
+  // A breach only warrants a re-price when the spend actually grew past
+  // what the accepted solve priced in: when the coverage floors alone
+  // exceed K (the quota fallback's best effort is already over budget),
+  // re-solving an unchanged breach every slot is pure thrash — no price
+  // can deploy less than one copy of each used microservice per shard.
+  const bool breach =
+      priceable &&
+      (!std::isfinite(spend) || (spend > budget + 1e-9 * scale &&
+                                 spend > spend_at_price_ + 1e-9 * scale));
   const bool drift =
-      std::abs(spend - spend_at_price_) >
-      params_.reprice_threshold * std::max(1.0, budget);
-  if ((breach || drift) && num_shards() > 1) {
+      priceable && !quiet &&
+      !(std::abs(spend - spend_at_price_) <= params_.reprice_threshold * scale);
+  // A rung that overflowed its shard's storage (Eq. 6) needs a higher λ'
+  // to shed replicas — re-price. Same thrash guard as the budget breach:
+  // when even the accepted coordinated solve could not fit (fallback at an
+  // infeasible instance), a re-solve of the unchanged breach is pure waste.
+  const bool storage_breach = !storage_ok && storage_ok_at_price_;
+  if ((breach || drift || storage_breach) && num_shards() > 1) {
+    obs::add_counter(params_.sink, "socl.shard.reprices", 1);
     return StepReport{resolved, true, solve()};
   }
   obs::add_counter(params_.sink, "socl.shard.incremental_steps", 1);

@@ -20,7 +20,11 @@
 // shards give up replicas), so a diminishing-step ascent would stall far
 // below it. The first feasible iterate brackets the clearing price
 // between the largest infeasible and smallest feasible μ seen; the
-// schedule then bisects the bracket. Per-iteration bookkeeping:
+// schedule then bisects the bracket. A feasible iterate must clear Eq. (5)
+// *and* per-shard routability *and* per-node storage (Eq. 6): a shard has
+// only its own nodes to host replicas on, so a latency-greedy iterate can
+// overflow storage even under budget — the same rising λ' sheds replicas
+// until both capacity constraints fit. Per-iteration bookkeeping:
 //
 //   primal(t) = Σ_s obj_λ(x_s)   (true-λ objective of the recombined iterate;
 //                                 exact because per-shard routing equals
@@ -57,6 +61,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/online.h"
 #include "core/socl.h"
 #include "shard/shard_plan.h"
 
@@ -84,6 +89,17 @@ struct DualState {
   /// initial_step / (1 + t) (the classic divergent-series schedule), and
   /// the price is projected onto μ >= 0. Returns the updated price.
   double update(double spend, double budget);
+
+  /// Restarts the diminishing-step schedule at `resume_price`. Every fresh
+  /// price search MUST call this: a drift-triggered global re-price mid-day
+  /// that resumed the old iteration counter would take its first step at
+  /// initial_step/(1+t_old) — near zero after a converged morning solve —
+  /// and stall below the new clearing price, the exact stall the geometric
+  /// floor exists to avoid at solve time.
+  void reset(double resume_price = 0.0) {
+    price = resume_price;
+    iteration = 0;
+  }
 };
 
 /// Quota negotiation: splits `budget` into per-shard quotas. `floors[s]` is
@@ -118,6 +134,18 @@ struct ShardedParams {
   /// spend drifts from the priced-in spend by more than this fraction of
   /// the budget (or breaches the budget outright).
   double reprice_threshold = 0.05;
+  /// Serving mode: per-shard incremental rungs run through a warm-started
+  /// OnlineSoCL per shard (repair + polish of the shard's carried placement
+  /// at the frozen price) instead of cold SoCL solves. Full coordinated
+  /// solves stay cold; each one re-seeds the rungs with the accepted
+  /// per-shard placements. With one shard this makes the serving ladder
+  /// bit-identical to driving OnlineSoCL directly (the serve-loop identity
+  /// lane of test_serving).
+  bool warm_serving = false;
+  /// Rung configuration under warm_serving (staleness threshold, periodic
+  /// full-resolve cadence). Its `socl` member is ignored: `solver` above is
+  /// the single source of per-shard solver configuration.
+  core::OnlineParams online;
   /// `socl.shard.*` metrics (docs/METRICS.md); nullptr disables.
   obs::ObsSink* sink = nullptr;
 };
@@ -171,7 +199,12 @@ class ShardedSoCL {
     bool repriced = false;    ///< full dual-ascent loop re-ran
     ShardedSolution solution;
   };
-  StepReport step(const std::vector<workload::UserRequest>& requests);
+  /// `force_all` re-runs every shard's rung even when its workload did not
+  /// move — the serving loop's periodic-replan schedule, which under
+  /// warm_serving gives each shard its OnlineSoCL staleness check / polish
+  /// on the legacy cadence.
+  StepReport step(const std::vector<workload::UserRequest>& requests,
+                  bool force_all = false);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const ShardProblem& shard(int s) const {
@@ -186,8 +219,13 @@ class ShardedSoCL {
                         const std::vector<double>* quotas,
                         std::vector<core::Solution>& out,
                         std::vector<double>& solve_s);
-  /// Re-solves one shard under the frozen price/quotas.
+  /// Re-solves one shard under the frozen price/quotas: a cold SoCL solve,
+  /// or the shard's warm OnlineSoCL rung under warm_serving.
   void resolve_shard(int s);
+  /// Builds (once) and re-seeds the per-shard OnlineSoCL rungs from the
+  /// accepted placements after a full coordinated solve. No-op unless
+  /// warm_serving.
+  void reseed_rungs();
   /// Recombines current_ into a global solution and evaluates it.
   ShardedSolution recombine() const;
   void emit_metrics(const ShardedSolution& solution) const;
@@ -195,6 +233,11 @@ class ShardedSoCL {
   const core::Scenario* global_;
   ShardedParams params_;
   std::vector<ShardProblem> shards_;
+  /// Subgradient schedule of the pre-bracket ascent; reset() at the top of
+  /// every solve() so mid-day re-prices restart the step size.
+  DualState dual_;
+  /// Warm serving rungs, one per shard (empty unless warm_serving).
+  std::vector<core::OnlineSoCL> online_rungs_;
 
   /// Serving state: the accepted per-shard solutions and the frozen
   /// coordination signals they were produced under.
@@ -203,6 +246,10 @@ class ShardedSoCL {
   double price_ = 0.0;
   std::optional<std::vector<double>> quotas_;
   double spend_at_price_ = 0.0;
+  /// Whether the accepted solve was per-node storage-feasible (Eq. 6): a
+  /// serving rung that later overflows its shard's storage triggers a
+  /// re-price, but only from a feasible baseline (thrash guard).
+  bool storage_ok_at_price_ = true;
   bool solved_ = false;
   /// Coordination bookkeeping of the last full solve (reported by step()).
   int iterations_ = 0;

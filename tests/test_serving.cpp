@@ -219,5 +219,153 @@ TEST(ServingLoop, StepBeyondRunExtendsTheDay) {
   EXPECT_EQ(loop.slot(), 4);
 }
 
+/// Per-slot shard bookkeeping must match too (excluded from
+/// expect_slots_equal because unsharded-vs-sharded comparisons legitimately
+/// differ there).
+void expect_shard_fields_equal(const std::vector<SlotReport>& a,
+                               const std::vector<SlotReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("slot " + std::to_string(a[i].slot));
+    EXPECT_EQ(a[i].shards_resolved, b[i].shards_resolved);
+    EXPECT_EQ(a[i].repriced, b[i].repriced);
+  }
+}
+
+TEST(ServingLoop, OneMetroShardedDayIsByteIdenticalToUnsharded) {
+  // The serve→shard seam's identity lane: with one metro the shard plan is
+  // trivial, the coordinator short-circuits at μ = 0, and the warm rung is
+  // the legacy OnlineSoCL — so the whole day, slot for slot and column for
+  // column, must reproduce the existing ServingLoop path bit for bit.
+  ServingConfig base = small_config(41);
+  base.slots = 12;
+  base.metros = 1;
+  ServingConfig sharded = base;
+  sharded.sharded = true;
+
+  const ServingReport a = ServingLoop(base).run();
+  const ServingReport b = ServingLoop(sharded).run();
+  expect_slots_equal(a.slots, b.slots);
+
+  const std::string path_a = "test_serving_unsharded.csv";
+  const std::string path_b = "test_serving_sharded.csv";
+  a.write_csv(path_a);
+  b.write_csv(path_b);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  const std::string csv_a = slurp(path_a);
+  EXPECT_FALSE(csv_a.empty());
+  EXPECT_EQ(csv_a, slurp(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(ServingLoop, ShardedTwoMetroDayWithCrossMetroChurnIsClean) {
+  // The sharded differential day: cross-metro commuters re-home between
+  // shards through the dense remap every slot, and the cross-check lane
+  // (full global re-route equality + SolutionValidator) must stay clean on
+  // the merged placement throughout.
+  ServingConfig config = small_config(43);
+  config.scenario.num_nodes = 5;  // per metro
+  config.metros = 2;
+  config.sharded = true;
+  config.cross_metro_prob = 0.08;
+  config.cross_check = true;
+  config.slots = 12;
+  // Each shard must cover its own used microservices (no cross-shard
+  // sharing of instances), so the decomposition's coverage floor is ~2× the
+  // single-substrate one — budget the day accordingly.
+  config.scenario.constants.budget = 13000.0;
+
+  // Node ids are metro-major (metro = attach_node / nodes_per_metro), so the
+  // workload hook can watch users actually cross the shard boundary.
+  int crossings = 0;
+  std::vector<int> prev_metro;
+  config.workload_hook = [&](int,
+                             std::vector<workload::UserRequest>& requests) {
+    std::vector<int> metro(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      metro[i] = requests[i].attach_node / 5;
+    }
+    if (!prev_metro.empty()) {
+      for (std::size_t i = 0; i < metro.size(); ++i) {
+        if (metro[i] != prev_metro[i]) ++crossings;
+      }
+    }
+    prev_metro = std::move(metro);
+  };
+
+  const ServingReport report = ServingLoop(config).run();
+  ASSERT_EQ(report.slots.size(), 12u);
+  EXPECT_GT(crossings, 0);
+  EXPECT_GT(report.shards_resolved, 0);
+  for (const SlotReport& slot : report.slots) {
+    EXPECT_TRUE(slot.full_reroute_matches) << "slot " << slot.slot;
+    EXPECT_EQ(slot.validator_violations, 0) << "slot " << slot.slot;
+  }
+}
+
+TEST(ServingLoop, ShardedReplanResolvesOnlyTheMovedShard) {
+  // Per-shard selectivity of the serving rung: a demand change confined to
+  // metro 0 must re-run exactly one shard's rung at the frozen price — no
+  // global re-price, no touch of metro 1.
+  ServingConfig config = small_config(47);
+  config.scenario.num_nodes = 5;  // per metro
+  config.metros = 2;
+  config.sharded = true;
+  config.slots = 4;
+  config.mobility.move_prob = 0.0;
+  config.drift_prob = 0.0;
+  config.full_replan_period = 0;
+  config.replan_weight_threshold = 0.0;  // any movement forces a replan
+  config.workload_hook = [](int slot,
+                            std::vector<workload::UserRequest>& requests) {
+    if (slot != 2) return;
+    for (auto& request : requests) {
+      if (request.attach_node < 5) {  // metro 0
+        request.deadline = request.deadline * 2.0 + 1.0;
+        break;
+      }
+    }
+  };
+
+  const ServingReport report = ServingLoop(config).run();
+  ASSERT_EQ(report.slots.size(), 4u);
+  EXPECT_EQ(report.slots[1].mode, SlotMode::kReplan);
+  EXPECT_EQ(report.slots[1].shards_resolved, 1);
+  EXPECT_FALSE(report.slots[1].repriced);
+  // The change persists, so later slots carry: the shard machinery is idle.
+  EXPECT_EQ(report.slots[2].mode, SlotMode::kCarried);
+  EXPECT_EQ(report.slots[2].shards_resolved, 0);
+  EXPECT_EQ(report.slots[3].shards_resolved, 0);
+}
+
+TEST(ServingLoop, ShardedDayIsDeterministicAcrossRunsAndThreadCounts) {
+  ServingConfig config = small_config(53);
+  config.scenario.num_nodes = 5;  // per metro
+  config.metros = 2;
+  config.sharded = true;
+  config.cross_metro_prob = 0.1;
+  config.slots = 10;
+  config.scenario.constants.budget = 13000.0;  // 2× coverage floor
+
+  const ServingReport first = ServingLoop(config).run();
+  const ServingReport second = ServingLoop(config).run();
+  expect_slots_equal(first.slots, second.slots);
+  expect_shard_fields_equal(first.slots, second.slots);
+
+  ServingConfig threaded = config;
+  threaded.runtime.threads = 3;
+  threaded.shard.threads = 2;
+  threaded.shard.shard_threads = 1;
+  const ServingReport third = ServingLoop(threaded).run();
+  expect_slots_equal(first.slots, third.slots);
+  expect_shard_fields_equal(first.slots, third.slots);
+}
+
 }  // namespace
 }  // namespace socl::serve

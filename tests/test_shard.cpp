@@ -320,6 +320,103 @@ TEST(MultiMetro, TopologyHasOneGatewayPerMetroAndContiguousIds) {
   for (const bool metro_touched : touched) EXPECT_TRUE(metro_touched);
 }
 
+TEST(DualState, ResetRestartsTheDiminishingSchedule) {
+  DualState dual;
+  dual.initial_step = 0.6;
+  for (int t = 0; t < 20; ++t) dual.update(2000.0, 1000.0);
+  const double before = dual.price;
+  // Stale counter: the step on a unit subgradient has shrunk to
+  // initial_step / (1 + 21) — exactly the mid-day re-price stall the
+  // geometric floor papers over at solve time.
+  const double stale_step = dual.update(2000.0, 1000.0) - before;
+  EXPECT_LT(stale_step, 0.05);
+
+  dual.reset();
+  EXPECT_EQ(dual.iteration, 0);
+  EXPECT_DOUBLE_EQ(dual.price, 0.0);
+  // Fresh schedule: the first step is the full initial_step again.
+  EXPECT_DOUBLE_EQ(dual.update(2000.0, 1000.0), 0.6);
+
+  // Resuming at a frozen price keeps the price but restarts the counter.
+  dual.reset(2.5);
+  EXPECT_DOUBLE_EQ(dual.price, 2.5);
+  EXPECT_EQ(dual.iteration, 0);
+}
+
+TEST(ShardProblem, MembershipSwapFlagsBothShardsMoved) {
+  // Two users sharing one demand tuple, attached in different metros. A
+  // cross-metro swap leaves each shard's *local* workload positionally
+  // identical (dense local ids, same tuple, same local attach), so the
+  // scenario epoch cannot see it — only the dense remap does. Both shards
+  // must still flag as moved, or the merged assignment would keep billing
+  // each user to its old shard.
+  const MetroFixture fixture(2, 5, 4, /*seed=*/33);
+  auto requests = fixture.requests;
+  requests.resize(2);
+  requests[0].id = 0;
+  requests[0].attach_node = 0;  // metro 0
+  requests[1] = requests[0];
+  requests[1].id = 1;
+  requests[1].attach_node =
+      static_cast<net::NodeId>(fixture.topo.nodes_per_metro());  // metro 1
+
+  core::ProblemConstants constants;
+  constants.budget = 6000.0;
+  const core::Scenario scenario(fixture.topo.network, workload::tiny_catalog(),
+                                requests, constants);
+  const ShardPlan plan =
+      plan_from_metros(fixture.topo.metro_of, fixture.topo.metros);
+  auto shards = extract_shards(scenario, plan);
+  ASSERT_EQ(shards[0].num_users(), 1);
+  ASSERT_EQ(shards[1].num_users(), 1);
+
+  std::swap(requests[0].attach_node, requests[1].attach_node);
+  EXPECT_TRUE(shards[0].set_requests(requests));
+  EXPECT_TRUE(shards[1].set_requests(requests));
+  EXPECT_EQ(shards[0].to_global_user(0), 1);
+  EXPECT_EQ(shards[1].to_global_user(0), 0);
+
+  // Feeding the identical workload again moves nothing.
+  EXPECT_FALSE(shards[0].set_requests(requests));
+  EXPECT_FALSE(shards[1].set_requests(requests));
+}
+
+TEST(ShardedSoCL, QuietAndZeroBudgetSlotsNeverRepriceOrNaN) {
+  const MetroFixture fixture(2, 5, 8, /*seed=*/27);
+  const ShardPlan plan =
+      plan_from_metros(fixture.topo.metro_of, fixture.topo.metros);
+
+  // Empty workload: the certificate must be exactly 0, not 0/0 noise, and
+  // a quiet slot (nothing deployed, nothing priced in) must stay on the
+  // incremental path instead of forcing a spurious global re-price.
+  core::ProblemConstants constants;
+  constants.budget = 6000.0;
+  const core::Scenario empty_scenario(fixture.topo.network,
+                                      workload::tiny_catalog(), {}, constants);
+  ShardedSoCL solver(empty_scenario, plan);
+  const auto first = solver.step({});
+  EXPECT_TRUE(first.repriced);  // the implicit first solve
+  EXPECT_FALSE(std::isnan(first.solution.duality_gap));
+  EXPECT_DOUBLE_EQ(first.solution.duality_gap, 0.0);
+  EXPECT_TRUE(first.solution.converged);
+  const auto quiet = solver.step({});
+  EXPECT_FALSE(quiet.repriced);
+  EXPECT_EQ(quiet.shards_resolved, 0);
+
+  // K == 0: the drift test normalises by the budget — it must neither
+  // divide by zero nor re-price a slot the price cannot influence.
+  core::ProblemConstants zero = constants;
+  zero.budget = 0.0;
+  const core::Scenario zero_scenario(fixture.topo.network,
+                                     workload::tiny_catalog(), {}, zero);
+  ShardedSoCL zero_solver(zero_scenario, plan);
+  const auto zero_first = zero_solver.step({});
+  EXPECT_FALSE(std::isnan(zero_first.solution.duality_gap));
+  const auto zero_quiet = zero_solver.step({});
+  EXPECT_FALSE(zero_quiet.repriced);
+  EXPECT_EQ(zero_quiet.shards_resolved, 0);
+}
+
 TEST(Scenario, SetConstantsIsEpochNeutral) {
   core::Scenario scenario = core::make_scenario(tiny_config(6, 12), 4);
   const std::uint64_t epoch = scenario.workload_epoch();
