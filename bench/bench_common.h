@@ -11,6 +11,7 @@
 #include "baselines/gcog.h"
 #include "baselines/jdr.h"
 #include "baselines/random_provision.h"
+#include "serve/serving_loop.h"
 #include "util/table.h"
 
 namespace socl::bench {
@@ -23,6 +24,37 @@ inline core::ScenarioConfig paper_config(int nodes, int users,
   config.num_nodes = nodes;
   config.num_users = users;
   config.constants.budget = budget;
+  return config;
+}
+
+/// The canonical "day in the life" serving configuration shared by
+/// bench_serving and bench_chaos: bench_chaos's no-chaos identity gate
+/// byte-compares the two binaries' CSVs, so they must build the exact same
+/// day from one definition.
+inline serve::ServingConfig serving_day_config(bool tiny) {
+  serve::ServingConfig config;
+  if (tiny) {
+    config.scenario.num_nodes = 8;
+    config.scenario.num_users = 30;  // templates
+    config.population = 2000;
+    config.slot_horizon_s = 6.0;
+    config.arrivals.mean_rate = 0.05;
+    config.runtime.concurrency = 2;
+    config.runtime.max_containers_per_pool = 4;
+  } else {
+    config.scenario.num_nodes = 16;
+    config.scenario.num_users = 200;  // templates
+    config.population = 1'000'000;
+    config.slot_horizon_s = 30.0;
+    config.arrivals.mean_rate = 1e-4;
+    config.runtime.threads = 0;  // parallel route-table precompute
+  }
+  config.slots = 24;
+  config.mobility.move_prob = 0.3;
+  config.drift_prob = 0.02;
+  config.diurnal_amplitude = 1.0;
+  config.full_replan_period = 8;
+  config.seed = 2026;
   return config;
 }
 

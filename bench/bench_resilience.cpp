@@ -40,13 +40,10 @@ int main() {
                                            node_failures, rng);
     auto degraded_net = net::apply_failures(healthy.network(), plan);
     auto requests = healthy.requests();
-    int displaced = 0;
-    for (const auto& request : requests) {
-      for (const auto dead : plan.failed_nodes) {
-        if (request.attach_node == dead) ++displaced;
-      }
-    }
-    workload::reattach_users(degraded_net, plan.failed_nodes, requests);
+    // Count what reattach actually moves: users on dead nodes AND users
+    // whose alive attach node lost its last usable link.
+    const int displaced =
+        workload::reattach_users(degraded_net, plan.failed_nodes, requests);
     const core::Scenario degraded(std::move(degraded_net), healthy.catalog(),
                                   std::move(requests), healthy.constants());
     const auto solution = baselines::SoCLAlgorithm().solve(degraded);

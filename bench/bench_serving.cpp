@@ -37,30 +37,8 @@ namespace socl {
 namespace {
 
 serve::ServingConfig day_config(bool tiny) {
-  serve::ServingConfig config;
-  if (tiny) {
-    config.scenario.num_nodes = 8;
-    config.scenario.num_users = 30;  // templates
-    config.population = 2000;
-    config.slot_horizon_s = 6.0;
-    config.arrivals.mean_rate = 0.05;
-    config.runtime.concurrency = 2;
-    config.runtime.max_containers_per_pool = 4;
-  } else {
-    config.scenario.num_nodes = 16;
-    config.scenario.num_users = 200;  // templates
-    config.population = 1'000'000;
-    config.slot_horizon_s = 30.0;
-    config.arrivals.mean_rate = 1e-4;
-    config.runtime.threads = 0;  // parallel route-table precompute
-  }
-  config.slots = 24;
-  config.mobility.move_prob = 0.3;
-  config.drift_prob = 0.02;
-  config.diurnal_amplitude = 1.0;
-  config.full_replan_period = 8;
-  config.seed = 2026;
-  return config;
+  // Shared with bench_chaos (no-chaos identity gate) — see bench_common.h.
+  return bench::serving_day_config(tiny);
 }
 
 /// The multi-metro day of the head-to-head: same knobs as the legacy day,

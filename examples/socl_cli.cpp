@@ -63,6 +63,9 @@ struct CliOptions {
   int metros = 0;
   bool sharded = false;
   double cross_metro_prob = 0.0;
+  // --chaos: inject the failure/repair/flash-crowd schedule into the day
+  // (serve::ChaosConfig defaults; deterministic in --seed).
+  bool chaos = false;
 };
 
 void print_usage() {
@@ -99,6 +102,8 @@ serving mode (DESIGN.md §4i):
                      (one shard per metro; requires --metros)
   --cross-metro X    per-user per-slot probability of re-homing to another
                      metro (requires --metros >= 2)
+  --chaos            inject node/link failures, repairs, and flash crowds
+                     into the serving day (deterministic in --seed)
   --help             this text
 )";
 }
@@ -184,6 +189,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
         options.metros = std::stoi(v);
       } else if (arg == "--sharded") {
         options.sharded = true;
+      } else if (arg == "--chaos") {
+        options.chaos = true;
       } else if (arg == "--cross-metro") {
         const char* v = next_value();
         if (!v) return false;
@@ -244,6 +251,7 @@ int run_serving(const CliOptions& options, obs::Recorder* recorder) {
   config.metros = options.metros;
   config.sharded = options.sharded;
   config.cross_metro_prob = options.cross_metro_prob;
+  config.chaos.enabled = options.chaos;
 
   const int population =
       config.population > 0 ? config.population : options.users;
@@ -255,15 +263,21 @@ int run_serving(const CliOptions& options, obs::Recorder* recorder) {
   std::cout << ", " << population << " users over " << options.users
             << " templates, catalog " << options.catalog << ", "
             << options.slots << " slots"
-            << (options.validate ? " (cross-check lane on)" : "") << "\n\n";
+            << (options.validate ? " (cross-check lane on)" : "")
+            << (options.chaos ? " (chaos lane on)" : "") << "\n\n";
   if (options.topology != "geometric") {
     std::cout << "note: --serve uses the scenario factory substrate; "
                  "--topology is ignored\n\n";
   }
 
   serve::ServingLoop loop(config);
-  util::Table table({"slot", "mode", "classes", "recomp", "churn",
-                     "requests", "slo", "cold_rate", "control_ms"});
+  std::vector<std::string> columns = {"slot", "mode", "classes", "recomp",
+                                      "churn", "requests", "slo",
+                                      "cold_rate", "control_ms"};
+  if (options.chaos) {
+    columns.insert(columns.end(), {"fail_n", "fail_l", "rehomed", "flash"});
+  }
+  util::Table table(columns);
   for (int s = 0; s < config.slots; ++s) {
     const serve::SlotReport slot = loop.step();
     table.row()
@@ -276,6 +290,12 @@ int run_serving(const CliOptions& options, obs::Recorder* recorder) {
         .num(slot.slo_attainment, 4)
         .num(slot.cold_start_rate, 4)
         .num(slot.control_s * 1e3, 1);
+    if (options.chaos) {
+      table.integer(slot.failed_nodes)
+          .integer(slot.failed_links)
+          .integer(slot.users_rehomed)
+          .num(slot.flash_multiplier, 1);
+    }
     if (options.validate && (slot.validator_violations != 0 ||
                              !slot.full_reroute_matches)) {
       table.print(std::cout);

@@ -98,6 +98,17 @@ void Scenario::set_requests(std::vector<workload::UserRequest> requests) {
   refresh_demand_indices();
 }
 
+void Scenario::set_network(net::EdgeNetwork network) {
+  if (network.num_nodes() != network_.num_nodes()) {
+    throw std::invalid_argument("set_network: node count must be stable");
+  }
+  network_ = std::move(network);
+  paths_ = std::make_unique<net::ShortestPaths>(network_);
+  vlinks_ = std::make_unique<net::VirtualLinks>(network_, *paths_);
+  ++substrate_epoch_;
+  ++workload_epoch_;  // cached routes/delay tables are network-dependent
+}
+
 Scenario make_scenario(const ScenarioConfig& config, std::uint64_t seed) {
   net::TopologyConfig topo = config.topology;
   topo.num_nodes = config.num_nodes;

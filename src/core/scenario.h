@@ -74,6 +74,12 @@ class Scenario {
   /// reindex runs, so an idle mobility slot costs nothing downstream.
   std::uint64_t workload_epoch() const { return workload_epoch_; }
 
+  /// Monotone counter bumped on every substrate swap (set_network). The
+  /// serving loop keys graceful degradation off this: any movement forces
+  /// the replan rung, because carried/incremental plans embed routes that
+  /// may traverse links the new substrate no longer has.
+  std::uint64_t substrate_epoch() const { return substrate_epoch_; }
+
   /// U_k: ids of users attached to node k.
   const std::vector<int>& users_at(NodeId k) const {
     return users_at_node_.at(static_cast<std::size_t>(k));
@@ -112,6 +118,17 @@ class Scenario {
   /// demand tuple is unchanged (exact comparison, not fingerprints).
   void set_requests(std::vector<workload::UserRequest> requests);
 
+  /// Replaces the substrate network (failure injection / repair in the
+  /// chaos lane). The node set must keep the same cardinality — node ids
+  /// stay stable so placements and attachments keep indexing the same
+  /// servers; links may appear, vanish, or change rate. Rebuilds the
+  /// routing tables and virtual links and bumps BOTH epochs: the
+  /// substrate epoch (replan trigger) and the workload epoch (per-class
+  /// route caches and scoring-kernel delay tables are network-dependent,
+  /// so a cache hit across a substrate swap would serve stale routes).
+  /// Demand indices are untouched — they depend only on the requests.
+  void set_network(net::EdgeNetwork network);
+
   /// Replaces the optimization constants (λ, K^max, latency weight). No
   /// derived index depends on them — routing tables, virtual links, and the
   /// demand indices are pure functions of the network and the workload — so
@@ -142,6 +159,7 @@ class Scenario {
   std::vector<double> demand_data_;
   workload::RequestClasses classes_;
   std::uint64_t workload_epoch_ = 0;
+  std::uint64_t substrate_epoch_ = 0;
 };
 
 /// End-to-end scenario factory mirroring the paper's experimental setup.

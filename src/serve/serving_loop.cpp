@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/evaluator.h"
+#include "net/failures.h"
 #include "obs/sink.h"
 #include "serverless/arrivals.h"
 #include "util/table.h"
@@ -107,17 +108,33 @@ double ServingReport::recompute_fraction() const {
                            : 0.0;
 }
 
+double ServingReport::degraded_slo_attainment() const {
+  return degraded_requests > 0 ? static_cast<double>(degraded_slo_met) /
+                                     static_cast<double>(degraded_requests)
+                               : 1.0;
+}
+
 void ServingReport::write_csv(const std::string& path) const {
-  util::Table table({"slot", "mode", "classes", "recomputed", "carried",
-                     "moved_weight_frac", "objective", "deploy_cost",
-                     "mean_latency_s", "churn", "churn_cost", "prewarm_hits",
-                     "invocations", "requests", "slo_met", "cold_serves",
-                     "slo_attainment",
-                     "cold_start_rate", "intensity", "demand_fingerprint",
-                     "validator_violations", "full_reroute_matches"});
+  // The chaos columns are appended only on chaotic days: with chaos
+  // disabled the CSV stays byte-identical to the pre-chaos serving CSV
+  // (the no-chaos identity gate in bench_chaos pins this).
+  std::vector<std::string> columns = {
+      "slot", "mode", "classes", "recomputed", "carried",
+      "moved_weight_frac", "objective", "deploy_cost",
+      "mean_latency_s", "churn", "churn_cost", "prewarm_hits",
+      "invocations", "requests", "slo_met", "cold_serves",
+      "slo_attainment",
+      "cold_start_rate", "intensity", "demand_fingerprint",
+      "validator_violations", "full_reroute_matches"};
+  if (chaos) {
+    columns.insert(columns.end(),
+                   {"failed_nodes", "failed_links", "users_rehomed",
+                    "flash_multiplier", "substrate_changed"});
+  }
+  util::Table table(columns);
   for (const SlotReport& s : slots) {
-    table.row()
-        .integer(s.slot)
+    util::Table& row = table.row();
+    row.integer(s.slot)
         .cell(slot_mode_name(s.mode))
         .integer(s.classes)
         .integer(s.classes_recomputed)
@@ -139,6 +156,13 @@ void ServingReport::write_csv(const std::string& path) const {
         .cell(std::to_string(s.demand_fingerprint))
         .integer(s.validator_violations)
         .integer(s.full_reroute_matches ? 1 : 0);
+    if (chaos) {
+      row.integer(s.failed_nodes)
+          .integer(s.failed_links)
+          .integer(s.users_rehomed)
+          .num(s.flash_multiplier, 3)
+          .integer(s.substrate_changed ? 1 : 0);
+    }
   }
   table.write_csv(path);
 }
@@ -158,6 +182,15 @@ std::string ServingReport::summary() const {
   if (shards_resolved > 0 || reprices > 0) {
     out << " shards_resolved=" << shards_resolved
         << " reprices=" << reprices;
+  }
+  if (chaos) {
+    out << " | chaos: node_failures=" << chaos_node_failures
+        << " link_failures=" << chaos_link_failures
+        << " repairs=" << chaos_repairs
+        << " rehomed=" << chaos_users_rehomed
+        << " degraded_slots=" << chaos_degraded_slots
+        << " flash_slots=" << chaos_flash_slots
+        << " degraded_slo=" << degraded_slo_attainment();
   }
   return out.str();
 }
@@ -190,19 +223,7 @@ ServingLoop::ServingLoop(ServingConfig config)
     assignment_ = core::Assignment(scenario_);
   }
 
-  if (config_.sharded) {
-    // One shard per metro, coordinated through the global Eq. 5 budget.
-    // The per-shard solver and warm-rung parameters mirror the legacy
-    // OnlineSoCL configuration exactly, so the one-metro sharded day is
-    // the unsharded day run through the shard machinery.
-    shard::ShardedParams sp = config_.shard;
-    sp.solver = config_.online.socl;
-    sp.online = config_.online;
-    sp.warm_serving = true;
-    sp.sink = config_.sink;
-    sharded_ = std::make_unique<shard::ShardedSoCL>(
-        scenario_, shard::plan_from_metros(metro_of_, config_.metros), sp);
-  }
+  if (config_.sharded) rebuild_sharded();
 
   // The mobility model keeps the generator's hotspot bias, as in slot_sim.
   util::Rng weight_rng(config_.seed ^ 0xabcdULL);
@@ -246,6 +267,37 @@ ServingLoop::ServingLoop(ServingConfig config)
       static_cast<std::size_t>(scenario_.num_microservices()) *
       static_cast<std::size_t>(scenario_.num_nodes());
   prewarm_snapshot_.assign(cells, 0);
+
+  if (config_.chaos.enabled) {
+    // Slot 1 must open healthy: the initial workload was generated on the
+    // full substrate and advance_workload (which re-homes displaced users)
+    // only runs from slot 2.
+    config_.chaos.first_slot = std::max(2, config_.chaos.first_slot);
+    healthy_network_ = std::make_unique<net::EdgeNetwork>(scenario_.network());
+    chaos_ = std::make_unique<ChaosSchedule>(
+        *healthy_network_, config_.chaos, config_.slots,
+        config_.seed ^ 0xc4a05daaULL,
+        metro_of_.empty() ? nullptr : &metro_of_);
+    report_.chaos = true;
+  }
+  last_substrate_epoch_ = scenario_.substrate_epoch();
+}
+
+void ServingLoop::rebuild_sharded() {
+  // One shard per metro, coordinated through the global Eq. 5 budget.
+  // The per-shard solver and warm-rung parameters mirror the legacy
+  // OnlineSoCL configuration exactly, so the one-metro sharded day is
+  // the unsharded day run through the shard machinery. A freshly built
+  // coordinator's first step runs an implicit full solve with
+  // repriced = true — the re-price the chaos lane requires on every
+  // substrate change.
+  shard::ShardedParams sp = config_.shard;
+  sp.solver = config_.online.socl;
+  sp.online = config_.online;
+  sp.warm_serving = true;
+  sp.sink = config_.sink;
+  sharded_ = std::make_unique<shard::ShardedSoCL>(
+      scenario_, shard::plan_from_metros(metro_of_, config_.metros), sp);
 }
 
 double ServingLoop::slot_intensity(int slot) const {
@@ -254,7 +306,7 @@ double ServingLoop::slot_intensity(int slot) const {
                       day_profile_.size()];
 }
 
-void ServingLoop::advance_workload() {
+int ServingLoop::advance_workload() {
   auto requests = scenario_.requests();
   workload::mobility_step(scenario_.network(), requests, weights_,
                           config_.mobility, mobility_rng_);
@@ -296,7 +348,20 @@ void ServingLoop::advance_workload() {
     }
   }
   if (config_.workload_hook) config_.workload_hook(slot_, requests);
+  int rehomed = 0;
+  if (chaos_ != nullptr) {
+    // Re-home every degraded slot, not only on substrate changes: the
+    // mobility/drift processes above can push users back onto a dead or
+    // link-isolated station mid-outage. scenario_.network() is already the
+    // slot's degraded substrate (the swap happens before advance_workload).
+    const SlotChaos& slot_chaos = chaos_->slot(slot_);
+    if (slot_chaos.degraded()) {
+      rehomed = workload::reattach_users(
+          scenario_.network(), slot_chaos.plan.failed_nodes, requests);
+    }
+  }
   scenario_.set_requests(std::move(requests));
+  return rehomed;
 }
 
 const ServingLoop::CacheEntry* ServingLoop::find_cached(
@@ -350,16 +415,52 @@ SlotReport ServingLoop::step() {
   report.slot = slot_;
   report.arrival_intensity = slot_intensity(slot_);
 
-  if (slot_ > 1) advance_workload();
+  const SlotChaos* chaos_slot = nullptr;
+  if (chaos_ != nullptr) {
+    chaos_slot = &chaos_->slot(slot_);
+    report.failed_nodes =
+        static_cast<int>(chaos_slot->plan.failed_nodes.size());
+    report.failed_links =
+        static_cast<int>(chaos_slot->plan.failed_links.size());
+    report.flash_multiplier = chaos_slot->flash_multiplier;
+    // Flash crowds fold into the slot's arrival intensity: the DES window
+    // below draws its rate from this multiplier.
+    report.arrival_intensity *= chaos_slot->flash_multiplier;
+    if (chaos_slot->changed) {
+      // Failures/repairs landed this slot: swap the substrate before the
+      // workload advances, so mobility walks the degraded graph and the
+      // re-homing below sees the links that actually exist. A full repair
+      // restores the pristine network by copy — apply_failures with an
+      // empty plan would drop the links' base parameters.
+      scenario_.set_network(chaos_slot->plan.empty()
+                                ? *healthy_network_
+                                : net::apply_failures(*healthy_network_,
+                                                      chaos_slot->plan));
+      report.substrate_changed = true;
+      // The sharded coordinator priced its shards on the old substrate;
+      // rebuilding it forces a global re-price (repriced = true) on the
+      // new one — a backhaul cut isolates a metro and its shard's budget
+      // share must be re-negotiated.
+      if (sharded_ != nullptr) rebuild_sharded();
+    }
+  }
+
+  if (slot_ > 1) report.users_rehomed = advance_workload();
   const std::uint64_t epoch = scenario_.workload_epoch();
   const bool workload_changed = !have_previous_ || epoch != last_epoch_;
+  const bool substrate_moved =
+      scenario_.substrate_epoch() != last_substrate_epoch_;
 
   const workload::RequestClasses& classes = scenario_.classes();
   report.classes = classes.num_classes();
   report.demand_fingerprint = demand_fingerprint(scenario_.requests());
   const double total_weight = std::max(1.0, classes.total_weight());
 
-  bool replan = !have_previous_;
+  // A substrate change always forces the replan rung: carried and
+  // incremental routes embed paths computed on the old network, and the
+  // tuple cache cannot see a link that vanished under an unchanged demand
+  // tuple.
+  bool replan = !have_previous_ || substrate_moved;
   bool periodic_replan = false;
   if (config_.full_replan_period > 0 && slot_ > 1 &&
       (slot_ - 1) % config_.full_replan_period == 0) {
@@ -586,6 +687,17 @@ SlotReport ServingLoop::step() {
         }
       }
     }
+    if (chaos_slot != nullptr && chaos_slot->degraded()) {
+      // Container pools drain on dead nodes: nothing carried on a
+      // currently-failed node may open warm (and a repaired node's pool
+      // restarts cold naturally — the previous slot's placement could not
+      // host anything there while it was a husk).
+      for (const net::NodeId k : chaos_slot->plan.failed_nodes) {
+        for (workload::MsId m = 0; m < scenario_.num_microservices(); ++m) {
+          if (carried.deployed(m, k)) carried.remove(m, k);
+        }
+      }
+    }
     const std::uint64_t des_seed = arrival_config.seed ^ 0x5E71E55ULL;
     if (sharded_ != nullptr) {
       // Per-metro serverless pools: each metro's control plane simulates
@@ -665,8 +777,9 @@ SlotReport ServingLoop::step() {
   previous_placement_ = placement_;
   have_previous_ = true;
   last_epoch_ = epoch;
+  last_substrate_epoch_ = scenario_.substrate_epoch();
 
-  emit_metrics(report);
+  emit_metrics(report, chaos_slot);
 
   report_.slots.push_back(report);
   report_.invocations += report.invocations;
@@ -686,12 +799,43 @@ SlotReport ServingLoop::step() {
   report_.shards_resolved += report.shards_resolved;
   if (report.repriced) ++report_.reprices;
   report_.control_s_total += report.control_s;
+  if (chaos_slot != nullptr) {
+    report_.chaos_node_failures += chaos_slot->nodes_failed_now;
+    report_.chaos_link_failures += chaos_slot->links_failed_now;
+    report_.chaos_repairs +=
+        chaos_slot->nodes_repaired_now + chaos_slot->links_repaired_now;
+    report_.chaos_users_rehomed += report.users_rehomed;
+    if (chaos_slot->flash_multiplier > 1.0) ++report_.chaos_flash_slots;
+    if (chaos_slot->degraded()) {
+      ++report_.chaos_degraded_slots;
+      report_.degraded_requests += report.requests_completed;
+      report_.degraded_slo_met += report.slo_met;
+    }
+  }
   return report;
 }
 
-void ServingLoop::emit_metrics(const SlotReport& report) {
+void ServingLoop::emit_metrics(const SlotReport& report,
+                               const SlotChaos* chaos_slot) {
   obs::ObsSink* const sink = config_.sink;
   if (sink == nullptr) return;
+  if (chaos_slot != nullptr) {
+    sink->add_counter("socl.chaos.node_failures", chaos_slot->nodes_failed_now);
+    sink->add_counter("socl.chaos.link_failures", chaos_slot->links_failed_now);
+    sink->add_counter("socl.chaos.repairs", chaos_slot->nodes_repaired_now +
+                                                chaos_slot->links_repaired_now);
+    sink->add_counter("socl.chaos.users_rehomed", report.users_rehomed);
+    sink->add_counter("socl.chaos.degraded_slots",
+                      chaos_slot->degraded() ? 1 : 0);
+    sink->add_counter("socl.chaos.flash_slots",
+                      chaos_slot->flash_multiplier > 1.0 ? 1 : 0);
+    sink->set_gauge("socl.chaos.failed_nodes", report.failed_nodes);
+    sink->set_gauge("socl.chaos.failed_links", report.failed_links);
+    if (chaos_slot->degraded()) {
+      sink->set_gauge("socl.chaos.degraded_slo_attainment",
+                      report.slo_attainment);
+    }
+  }
   sink->add_counter("socl.serve.slots", 1);
   switch (report.mode) {
     case SlotMode::kCarried:

@@ -50,6 +50,7 @@
 #include "core/online.h"
 #include "core/routing.h"
 #include "net/multi_metro.h"
+#include "serve/chaos.h"
 #include "serverless/runtime.h"
 #include "shard/sharded_solver.h"
 #include "util/rng.h"
@@ -133,6 +134,12 @@ struct ServingConfig {
   /// the independent constraint validator. Results land in
   /// SlotReport::{full_reroute_matches, validator_violations}.
   bool cross_check = false;
+  /// Chaos lane (DESIGN.md §4l): seed-keyed failure/repair/flash-crowd
+  /// schedule injected into the day. Disabled by default; with
+  /// `chaos.enabled == false` the day — including its CSV — is byte-for-byte
+  /// the healthy day. `chaos.first_slot` is clamped to >= 2 so slot 1 always
+  /// builds the baseline plan on the full substrate.
+  ChaosConfig chaos;
   std::uint64_t seed = 1;
   /// `socl.serve.*` metrics per slot (docs/METRICS.md); forwarded to the
   /// DES windows when `runtime.sink` is null. nullptr disables.
@@ -185,6 +192,14 @@ struct SlotReport {
   /// from the CSV so sharded and unsharded series stay column-comparable.
   int shards_resolved = 0;
   bool repriced = false;
+  /// Chaos-lane state of the slot (all neutral when chaos is disabled;
+  /// the CSV grows these columns only when chaos is enabled, keeping the
+  /// healthy day's CSV byte-identical to the pre-chaos one).
+  int failed_nodes = 0;       ///< nodes down during the slot (cumulative)
+  int failed_links = 0;       ///< explicitly failed links during the slot
+  int users_rehomed = 0;      ///< users moved off dead/isolated stations
+  double flash_multiplier = 1.0;
+  bool substrate_changed = false;  ///< failures/repairs landed this slot
   /// Wall-clock control-plane latency (workload ingest → assignment ready).
   /// The one non-deterministic field; excluded from the CSV series.
   double control_s = 0.0;
@@ -210,9 +225,25 @@ struct ServingReport {
   int shards_resolved = 0;
   int reprices = 0;
   double control_s_total = 0.0;
+  /// Chaos-lane day totals (all zero with chaos disabled). `chaos` gates
+  /// the extra CSV columns.
+  bool chaos = false;
+  int chaos_node_failures = 0;
+  int chaos_link_failures = 0;
+  int chaos_repairs = 0;
+  int chaos_users_rehomed = 0;
+  int chaos_degraded_slots = 0;
+  int chaos_flash_slots = 0;
+  /// SLO accounting restricted to degraded slots — the availability story:
+  /// how much service quality survives while failures are outstanding.
+  std::int64_t degraded_requests = 0;
+  std::int64_t degraded_slo_met = 0;
 
   double slo_attainment() const;
   double cold_start_rate() const;
+  /// SLO attainment over degraded slots only (1.0 when the day never
+  /// degraded — vacuous availability).
+  double degraded_slo_attainment() const;
   /// Σ recomputed / Σ classes — how much of the day's routing work the
   /// incremental path actually performed (1.0 = every slot replanned).
   double recompute_fraction() const;
@@ -251,12 +282,17 @@ class ServingLoop {
     double latency = 0.0;
   };
 
-  void advance_workload();
+  /// Returns the number of users re-homed off dead/isolated stations
+  /// (always 0 outside degraded chaos slots).
+  int advance_workload();
+  /// (Re)creates the sharded coordinator against the current scenario —
+  /// used at construction and on every substrate change.
+  void rebuild_sharded();
   /// Fingerprint-bucketed exact lookup into the previous slot's cache.
   const CacheEntry* find_cached(const workload::UserRequest& rep) const;
   void rebuild_cache_from_assignment();
   void expand_assignment();
-  void emit_metrics(const SlotReport& report);
+  void emit_metrics(const SlotReport& report, const SlotChaos* chaos_slot);
   double slot_intensity(int slot) const;
 
   ServingConfig config_;
@@ -275,9 +311,20 @@ class ServingLoop {
   util::Rng drift_rng_;
   util::Rng cross_metro_rng_;
   core::OnlineSoCL online_;
-  /// Sharded replan engine (null unless config.sharded).
+  /// Sharded replan engine (null unless config.sharded). Recreated on every
+  /// substrate change: a fresh coordinator's first step runs an implicit
+  /// full solve with repriced = true — the required re-price on substrate
+  /// change.
   std::unique_ptr<shard::ShardedSoCL> sharded_;
   core::RouteScratch scratch_;
+
+  /// Chaos lane (both null when chaos is disabled). `healthy_network_` is
+  /// the pristine substrate: full repair restores it by copy rather than
+  /// via apply_failures(empty plan), which would drop base_bandwidth /
+  /// channel_gain of the links.
+  std::unique_ptr<net::EdgeNetwork> healthy_network_;
+  std::unique_ptr<ChaosSchedule> chaos_;
+  std::uint64_t last_substrate_epoch_ = 0;
 
   int slot_ = 0;
   /// Epoch of the workload the carried routes/assignment were built for; a

@@ -46,23 +46,32 @@ std::vector<std::vector<net::NodeId>> mobility_trajectory(
   return trajectory;
 }
 
-void reattach_users(const net::EdgeNetwork& degraded,
-                    const std::vector<net::NodeId>& failed_nodes,
-                    std::vector<UserRequest>& requests) {
-  if (failed_nodes.empty()) return;
+int reattach_users(const net::EdgeNetwork& degraded,
+                   const std::vector<net::NodeId>& failed_nodes,
+                   std::vector<UserRequest>& requests) {
+  // No early-out on empty failed_nodes: link-only failures can isolate
+  // alive stations, and failover_targets covers those too.
   const auto fallback = net::failover_targets(degraded, failed_nodes);
+  std::vector<std::uint8_t> failed(degraded.num_nodes(), 0);
+  for (const net::NodeId k : failed_nodes) {
+    if (k >= 0 && static_cast<std::size_t>(k) < degraded.num_nodes()) {
+      failed[static_cast<std::size_t>(k)] = 1;
+    }
+  }
+  int moved = 0;
   for (auto& request : requests) {
-    const bool failed =
-        std::find(failed_nodes.begin(), failed_nodes.end(),
-                  request.attach_node) != failed_nodes.end();
-    if (!failed) continue;
     const net::NodeId target =
         fallback[static_cast<std::size_t>(request.attach_node)];
     if (target == net::kInvalidNode) {
-      throw std::runtime_error("reattach_users: no surviving node");
+      if (failed[static_cast<std::size_t>(request.attach_node)] != 0) {
+        throw std::runtime_error("reattach_users: no surviving node");
+      }
+      continue;  // healthy, or isolated with nowhere better to go
     }
     request.attach_node = target;
+    ++moved;
   }
+  return moved;
 }
 
 }  // namespace socl::workload

@@ -37,11 +37,17 @@ std::vector<std::vector<net::NodeId>> mobility_trajectory(
     const std::vector<double>& weights, const MobilityConfig& config,
     int slots, std::uint64_t seed);
 
-/// Moves users attached to failed nodes onto their nearest surviving
-/// station (net::failover_targets). Healthy attachments are untouched.
-/// Throws std::runtime_error when no survivor exists.
-void reattach_users(const net::EdgeNetwork& degraded,
-                    const std::vector<net::NodeId>& failed_nodes,
-                    std::vector<UserRequest>& requests);
+/// Moves displaced users onto their nearest usable surviving station
+/// (net::failover_targets): users whose attach node failed, and users
+/// whose alive attach node was stripped of every usable link by link
+/// failures. Healthy attachments are untouched. Returns the number of
+/// users actually moved — the honest displaced count (bench_resilience
+/// used to under-count by only looking at dead attach nodes). Throws
+/// std::runtime_error when a user on a FAILED node has no surviving
+/// target; link-isolated users with nowhere better to go stay put and
+/// are served locally.
+int reattach_users(const net::EdgeNetwork& degraded,
+                   const std::vector<net::NodeId>& failed_nodes,
+                   std::vector<UserRequest>& requests);
 
 }  // namespace socl::workload

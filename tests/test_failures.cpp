@@ -95,6 +95,119 @@ TEST(FailoverTargets, NearestSurvivorChosen) {
   for (NodeId k = 1; k < 8; ++k) EXPECT_EQ(targets[k], kInvalidNode);
 }
 
+TEST(SurvivorsConnected, VacuousForAllFailedAndEmpty) {
+  const auto network = make_topology(5, 21);
+  FailurePlan plan;
+  for (NodeId k = 0; k < 5; ++k) plan.failed_nodes.push_back(k);
+  const auto degraded = apply_failures(network, plan);
+  EXPECT_TRUE(survivors_connected(degraded, plan.failed_nodes));
+  EXPECT_TRUE(survivors_connected(EdgeNetwork{}, std::vector<NodeId>{}));
+}
+
+TEST(SurvivorsConnected, MaskOverloadMatchesDegradedNetwork) {
+  // The mask overload on the original network must agree with the legacy
+  // check on the materialised degraded network for arbitrary plans.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto network = make_topology(10, seed);
+    util::Rng rng(seed * 7);
+    const auto plan = random_failures(network, 0.3, 3, rng,
+                                      /*keep_survivors_connected=*/false);
+    const auto degraded = apply_failures(network, plan);
+    EXPECT_EQ(survivors_connected(network, failure_masks(network, plan)),
+              survivors_connected(degraded, plan.failed_nodes))
+        << "seed " << seed;
+  }
+}
+
+TEST(RandomFailures, EmptyNetworkYieldsEmptyPlan) {
+  util::Rng rng(3);
+  const auto plan = random_failures(EdgeNetwork{}, 0.9, 4, rng);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(RandomFailures, GuardExhaustionOnPathGraph) {
+  // On a path every link is a bridge: with the guard on, no link failure
+  // can be accepted even at probability 1 — the plan comes back empty.
+  EdgeNetwork network;
+  for (int i = 0; i < 4; ++i) network.add_node({});
+  for (NodeId k = 0; k + 1 < 4; ++k) network.add_link_with_rate(k, k + 1, 5.0);
+  util::Rng rng(17);
+  const auto plan = random_failures(network, 1.0, 0, rng,
+                                    /*keep_survivors_connected=*/true);
+  EXPECT_TRUE(plan.failed_links.empty());
+  // With the guard off the same draws take every link.
+  util::Rng rng2(17);
+  const auto wild = random_failures(network, 1.0, 0, rng2,
+                                    /*keep_survivors_connected=*/false);
+  EXPECT_EQ(wild.failed_links.size(), 3u);
+}
+
+TEST(FailoverTargets, SkipsLinkIsolatedSurvivors) {
+  // Regression (ISSUE 10): the geometric-nearest survivor of a failed node
+  // can itself be stripped of every link — users re-homed there would be
+  // unreachable. Node 1 is nearest to the failed node 0 but loses its only
+  // remaining link; the target must be the linked node 2 instead.
+  EdgeNetwork network;
+  network.add_node({.x_m = 0.0, .y_m = 0.0});   // 0: fails
+  network.add_node({.x_m = 1.0, .y_m = 0.0});   // 1: survives, isolated
+  network.add_node({.x_m = 5.0, .y_m = 0.0});   // 2: survives, linked
+  network.add_node({.x_m = 6.0, .y_m = 0.0});   // 3: survives, linked
+  network.add_link_with_rate(0, 1, 5.0);        // dies with node 0
+  const LinkId bridge = network.add_link_with_rate(1, 2, 5.0);
+  network.add_link_with_rate(2, 3, 5.0);
+  FailurePlan plan;
+  plan.failed_nodes.push_back(0);
+  plan.failed_links.push_back(bridge);
+  const auto degraded = apply_failures(network, plan);
+  const auto targets = failover_targets(degraded, plan.failed_nodes);
+  EXPECT_EQ(targets[0], 2);  // not the isolated node 1
+  // The isolated-but-alive node 1 displaces its users too.
+  EXPECT_EQ(targets[1], 2);
+  EXPECT_EQ(targets[2], kInvalidNode);
+  EXPECT_EQ(targets[3], kInvalidNode);
+}
+
+TEST(FailoverTargets, IsolatedFallbackWhenNoLinkedSurvivor) {
+  // Every survivor lost its links: a failed node still gets the nearest
+  // isolated survivor (local-only service beats stranding), while isolated
+  // survivors themselves stay put.
+  EdgeNetwork network;
+  network.add_node({.x_m = 0.0, .y_m = 0.0});
+  network.add_node({.x_m = 1.0, .y_m = 0.0});
+  network.add_node({.x_m = 3.0, .y_m = 0.0});
+  network.add_link_with_rate(0, 1, 5.0);
+  network.add_link_with_rate(0, 2, 5.0);
+  FailurePlan plan;
+  plan.failed_nodes.push_back(0);  // takes every link with it
+  const auto degraded = apply_failures(network, plan);
+  const auto targets = failover_targets(degraded, plan.failed_nodes);
+  EXPECT_EQ(targets[0], 1);  // nearest survivor, degree notwithstanding
+  EXPECT_EQ(targets[1], kInvalidNode);
+  EXPECT_EQ(targets[2], kInvalidNode);
+}
+
+TEST(FailoverTargets, AcrossDisconnectedSurvivorComponents) {
+  // Two survivor components after a cut: displaced users go to the nearest
+  // LINKED survivor even if an isolated one is closer; survivors in the
+  // far component are valid targets too.
+  EdgeNetwork network;
+  network.add_node({.x_m = 0.0, .y_m = 0.0});    // 0: fails
+  network.add_node({.x_m = 2.0, .y_m = 0.0});    // 1: component A
+  network.add_node({.x_m = 3.0, .y_m = 0.0});    // 2: component A
+  network.add_node({.x_m = 10.0, .y_m = 0.0});   // 3: component B
+  network.add_node({.x_m = 11.0, .y_m = 0.0});   // 4: component B
+  network.add_link_with_rate(0, 1, 5.0);
+  network.add_link_with_rate(1, 2, 5.0);
+  network.add_link_with_rate(3, 4, 5.0);
+  FailurePlan plan;
+  plan.failed_nodes.push_back(0);
+  const auto degraded = apply_failures(network, plan);
+  EXPECT_FALSE(survivors_connected(degraded, plan.failed_nodes));
+  const auto targets = failover_targets(degraded, plan.failed_nodes);
+  EXPECT_EQ(targets[0], 1);
+  for (NodeId k = 1; k < 5; ++k) EXPECT_EQ(targets[k], kInvalidNode);
+}
+
 TEST(ReattachUsers, MovesOnlyAffectedUsers) {
   const auto network = make_topology(8, 7);
   workload::RequestGenConfig gen;
@@ -113,6 +226,51 @@ TEST(ReattachUsers, MovesOnlyAffectedUsers) {
       EXPECT_EQ(requests[i].attach_node, before[i].attach_node);
     }
   }
+}
+
+TEST(ReattachUsers, CountsAndMovesLinkIsolatedUsers) {
+  // A user on an alive-but-isolated station is displaced too (the
+  // under-count bench_resilience used to have), and the return value is
+  // the honest moved count.
+  EdgeNetwork network;
+  network.add_node({.x_m = 0.0, .y_m = 0.0});
+  network.add_node({.x_m = 1.0, .y_m = 0.0});
+  network.add_node({.x_m = 5.0, .y_m = 0.0});
+  network.add_node({.x_m = 6.0, .y_m = 0.0});
+  network.add_link_with_rate(0, 1, 5.0);
+  const LinkId bridge = network.add_link_with_rate(1, 2, 5.0);
+  network.add_link_with_rate(2, 3, 5.0);
+  workload::RequestGenConfig gen;
+  gen.num_users = 12;
+  auto requests = workload::generate_requests(
+      network, workload::eshop_catalog(), gen, 23);
+  // Pin: one user on the dying node, one on the to-be-isolated node.
+  requests[0].attach_node = 0;
+  requests[1].attach_node = 1;
+  for (std::size_t i = 2; i < requests.size(); ++i) {
+    requests[i].attach_node = 2;
+  }
+  FailurePlan plan;
+  plan.failed_nodes.push_back(0);
+  plan.failed_links.push_back(bridge);
+  const auto degraded = apply_failures(network, plan);
+  const int moved = workload::reattach_users(degraded, plan.failed_nodes,
+                                             requests);
+  EXPECT_EQ(moved, 2);  // the dead-node user AND the isolated-node user
+  EXPECT_EQ(requests[0].attach_node, 2);
+  EXPECT_EQ(requests[1].attach_node, 2);
+}
+
+TEST(ReattachUsers, SingleNodeNetworkStaysPut) {
+  // A legitimate one-node network has no links at all; nothing is failed,
+  // so nobody moves and nothing throws.
+  EdgeNetwork network;
+  network.add_node({});
+  workload::RequestGenConfig gen;
+  gen.num_users = 3;
+  auto requests = workload::generate_requests(
+      network, workload::eshop_catalog(), gen, 29);
+  EXPECT_EQ(workload::reattach_users(network, {}, requests), 0);
 }
 
 TEST(Resilience, SoclReprovisionsAfterNodeFailure) {

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 
+#include "net/failures.h"
+
 namespace socl::core {
 namespace {
 
@@ -111,6 +113,39 @@ TEST(Scenario, SetRequestsReindexes) {
   for (NodeId k = 1; k < scenario.num_nodes(); ++k) {
     EXPECT_TRUE(scenario.users_at(k).empty());
   }
+}
+
+TEST(Scenario, SetNetworkBumpsBothEpochsBothWays) {
+  // Failure AND repair are substrate swaps: both must bump the substrate
+  // epoch (replan trigger) and the workload epoch (route caches are
+  // network-dependent), and a repair must restore routing on the exact
+  // pre-failure substrate.
+  auto scenario = make_scenario(small_config(), 13);
+  const net::EdgeNetwork healthy = scenario.network();
+  const std::uint64_t s0 = scenario.substrate_epoch();
+  const std::uint64_t w0 = scenario.workload_epoch();
+  const double healthy_rate = scenario.vlinks().rate(0, 1);
+
+  net::FailurePlan plan;
+  plan.failed_nodes.push_back(2);
+  scenario.set_network(net::apply_failures(healthy, plan));
+  EXPECT_EQ(scenario.substrate_epoch(), s0 + 1);
+  EXPECT_EQ(scenario.workload_epoch(), w0 + 1);
+  EXPECT_EQ(scenario.network().degree(2), 0u);
+
+  scenario.set_network(healthy);  // repair: pristine copy, not empty plan
+  EXPECT_EQ(scenario.substrate_epoch(), s0 + 2);
+  EXPECT_EQ(scenario.workload_epoch(), w0 + 2);
+  EXPECT_EQ(scenario.network().num_links(), healthy.num_links());
+  EXPECT_DOUBLE_EQ(scenario.vlinks().rate(0, 1), healthy_rate);
+}
+
+TEST(Scenario, SetNetworkRejectsNodeCountChange) {
+  auto scenario = make_scenario(small_config(), 14);
+  net::EdgeNetwork bigger = scenario.network();
+  bigger.add_node({});
+  EXPECT_THROW(scenario.set_network(std::move(bigger)),
+               std::invalid_argument);
 }
 
 TEST(Scenario, RejectsBadLambda) {
